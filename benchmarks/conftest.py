@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artefacts (the servo dwell sweep and the six characterised
+case-study applications) are computed once per session and reused by the
+benchmarks that consume them.
+"""
+
+import pytest
+
+from repro.experiments import run_fig3, simulation_applications
+
+
+@pytest.fixture(scope="session")
+def fig3_result():
+    return run_fig3(wait_step=4)
+
+
+@pytest.fixture(scope="session")
+def sim_apps():
+    return simulation_applications(wait_step=4)

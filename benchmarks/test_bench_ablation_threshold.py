@@ -1,0 +1,23 @@
+"""Benchmark E8 — steady-state threshold (Eth) sweep on the servo rig.
+
+Smaller thresholds demand longer response times in every mode; the
+non-monotonic dwell phenomenon persists across the sweep.
+"""
+
+from repro.experiments.ablations import run_threshold_sweep
+
+
+def test_bench_threshold_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_threshold_sweep(
+            thresholds=[0.1, 0.2, 0.4], wait_step=8, max_samples=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.report())
+    xi_tts = [row[1] for row in result.rows]
+    xi_ets = [row[2] for row in result.rows]
+    # Tighter thresholds (earlier rows) cannot settle faster.
+    assert xi_tts == sorted(xi_tts, reverse=True)
+    assert xi_ets == sorted(xi_ets, reverse=True)

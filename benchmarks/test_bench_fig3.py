@@ -1,0 +1,28 @@
+"""Benchmark E1 — regenerate Figure 3 (dwell/wait sweep on the servo rig).
+
+Paper anchors: xi_TT = 0.68 s, xi_ET = 2.16 s, dwell peak at an interior
+wait time (positive gradient up to ~0.3 s, negative after).
+"""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.testbed.servo import default_servo_testbed
+
+
+def test_bench_fig3_dwell_sweep(benchmark):
+    """Full Figure 3 regeneration (coarse stride for benchmark budget)."""
+    result = benchmark.pedantic(
+        lambda: run_fig3(wait_step=6, max_samples=300), rounds=1, iterations=1
+    )
+    print("\n" + result.report())
+    assert result.xi_tt == pytest.approx(0.68, abs=0.05)
+    assert result.xi_et == pytest.approx(2.16, abs=0.25)
+    assert result.is_non_monotonic()
+
+
+def test_bench_fig3_single_response(benchmark):
+    """Cost of one switched-response measurement on the testbed."""
+    testbed = default_servo_testbed()
+    response = benchmark(lambda: testbed.response_time(15, max_samples=200))
+    assert response > 0.0

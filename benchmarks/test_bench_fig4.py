@@ -1,0 +1,28 @@
+"""Benchmark E2 — regenerate Figure 4 (PWL dwell-model construction).
+
+Checks the paper's safety story: the non-monotonic and conservative
+monotonic models dominate the measurement, the simple monotonic model
+does not.
+"""
+
+from repro.core.pwl import fit_conservative_monotonic, fit_two_segment
+from repro.experiments.fig4 import run_fig4
+
+
+def test_bench_fig4_models(benchmark, fig3_result):
+    result = benchmark(lambda: run_fig4(curve=fig3_result.curve))
+    print("\n" + result.report())
+    assert result.non_monotonic.dominates(result.curve)
+    assert result.conservative_monotonic.dominates(result.curve)
+    assert not result.simple.dominates(result.curve)
+    assert result.tightness_gap() > 0
+
+
+def test_bench_two_segment_fit(benchmark, fig3_result):
+    model = benchmark(lambda: fit_two_segment(fig3_result.curve))
+    assert model.dominates(fig3_result.curve)
+
+
+def test_bench_monotonic_fit(benchmark, fig3_result):
+    model = benchmark(lambda: fit_conservative_monotonic(fig3_result.curve))
+    assert model.dominates(fig3_result.curve)

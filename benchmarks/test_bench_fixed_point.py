@@ -1,0 +1,55 @@
+"""Benchmark E7 — closed-form bound (Eq. 20) vs exact fixed point (Eq. 5),
+and against the CAN-style iterative analysis the paper contrasts with.
+"""
+
+from repro.baselines.can_rta import CanMessage, worst_case_response_time
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    max_wait_closed_form,
+    max_wait_fixed_point,
+)
+from repro.core.timing_params import PAPER_TABLE_I
+from repro.experiments.ablations import run_fixed_point_ablation
+
+
+def _paper_apps():
+    table = [AnalyzedApplication.from_params(p) for p in PAPER_TABLE_I]
+    by_name = {a.name: a for a in table}
+    subject = by_name["C5"]
+    higher = [by_name["C3"], by_name["C6"], by_name["C2"], by_name["C4"]]
+    lower = [by_name["C1"]]
+    return subject, higher, lower
+
+
+def test_bench_closed_form(benchmark):
+    _, higher, lower = _paper_apps()
+    wait = benchmark(lambda: max_wait_closed_form(lower, higher))
+    assert wait > 0
+
+
+def test_bench_fixed_point(benchmark):
+    _, higher, lower = _paper_apps()
+    wait = benchmark(lambda: max_wait_fixed_point(lower, higher))
+    upper = max_wait_closed_form(lower, higher)
+    assert wait <= upper
+
+
+def test_bench_pessimism_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fixed_point_ablation(samples=100, seed=1), rounds=1, iterations=1
+    )
+    print("\n" + result.report())
+    assert result.mean_gap >= 0
+
+
+def test_bench_can_rta_baseline(benchmark):
+    """The iterative CAN analysis the paper's Related Work contrasts."""
+    messages = [
+        CanMessage(name=f"M{i}", period=0.005 * i, transmission=0.0005, priority=i)
+        for i in range(1, 9)
+    ]
+    subject = messages[-1]
+    result = benchmark(
+        lambda: worst_case_response_time(subject, messages[:-1])
+    )
+    assert result.response_time > 0

@@ -1,0 +1,22 @@
+"""Benchmark (extension) — dwell-margin robustness of the allocations."""
+
+from repro.core.allocation import first_fit_allocation, make_analyzed
+from repro.core.robustness import dwell_margin
+from repro.core.timing_params import PAPER_TABLE_I
+from repro.experiments.reporting import format_table
+
+
+def test_bench_dwell_margin(benchmark):
+    allocation = first_fit_allocation(make_analyzed(PAPER_TABLE_I, "non-monotonic"))
+    result = benchmark(lambda: dwell_margin(allocation.slots))
+    rows = [
+        [",".join(a.name for a in slot), margin]
+        for slot, margin in zip(allocation.slots, result.slot_margins)
+    ]
+    print(
+        "\nDwell-margin robustness of the paper allocation\n"
+        + format_table(["slot contents", "margin (dwell scale)"], rows)
+        + f"\noverall margin: {result.margin:.3f}x "
+        f"(critical slot: {result.critical_slot})"
+    )
+    assert result.margin > 1.0  # the certified allocation has headroom

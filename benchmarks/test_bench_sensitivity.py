@@ -1,0 +1,31 @@
+"""Benchmark (extension) — deadline-tightness sensitivity sweep.
+
+Shows how far the paper's deadline vector sits from the slot-count
+cliffs under both dwell models.
+"""
+
+from repro.core.sensitivity import critical_scale, deadline_sensitivity
+from repro.core.timing_params import PAPER_TABLE_I
+from repro.experiments.reporting import format_table
+
+
+def test_bench_sensitivity_sweep(benchmark):
+    scales = [0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0]
+    points = benchmark(lambda: deadline_sensitivity(PAPER_TABLE_I, scales))
+    rows = [
+        [p.scale, p.slots_non_monotonic or "infeasible", p.slots_monotonic or "infeasible"]
+        for p in points
+    ]
+    print(
+        "\nDeadline-tightness sensitivity\n"
+        + format_table(["scale", "non-monotonic", "monotonic"], rows)
+    )
+    at_one = next(p for p in points if p.scale == 1.0)
+    assert at_one.slots_non_monotonic == 3
+    assert at_one.slots_monotonic == 5
+
+
+def test_bench_critical_scale(benchmark):
+    scale = benchmark(lambda: critical_scale(PAPER_TABLE_I))
+    print(f"\ncritical deadline-tightness factor: {scale:.3f}")
+    assert 0.0 < scale <= 1.0

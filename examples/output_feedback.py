@@ -1,0 +1,70 @@
+"""Output feedback: run the servo loop from its encoder alone.
+
+The paper's rig measures the shaft angle with a quadrature encoder; the
+angular velocity is not sensed directly.  This example designs a
+Luenberger observer for the angle-only measurement, closes the TT-mode
+loop over the *estimated* state (certainty equivalence), and compares
+the settling time against the full-state-feedback ideal.
+
+Run with::
+
+    python examples/output_feedback.py
+"""
+
+import numpy as np
+
+from repro.control import (
+    ContinuousStateSpace,
+    design_mode_controller,
+    design_observer_poles,
+    discretize_with_delay,
+    servo_rig,
+)
+
+
+def main() -> None:
+    base = servo_rig()
+    h = base.period
+
+    # Angle-only output model for the observer.
+    encoder_model = ContinuousStateSpace(
+        a=base.model.a, b=base.model.b, c=np.array([[1.0, 0.0]]), name="servo-encoder"
+    )
+    plant = discretize_with_delay(encoder_model, period=h, delay=0.0)
+    observer = design_observer_poles(plant, poles=[0.25, 0.3])
+    controller = design_mode_controller(
+        base.model, period=h, delay=0.0, q=base.q, r=base.r
+    )
+
+    def simulate(use_observer: bool, steps: int = 200) -> float:
+        x = base.disturbance.copy()
+        xhat = np.zeros(2)  # the observer starts ignorant
+        u_prev = np.zeros(1)
+        settle = None
+        for k in range(steps):
+            norm = float(np.hypot(x[0], x[1]))
+            if norm <= base.threshold and settle is None:
+                settle = k * h
+            elif norm > base.threshold:
+                settle = None
+            state_for_control = xhat if use_observer else x
+            u = controller.control(state_for_control, u_prev)
+            y = plant.c @ x
+            xhat = observer.update(xhat, u, u_prev, y)
+            x = plant.phi @ x + plant.gamma0 @ u + plant.gamma1 @ u_prev
+            u_prev = u
+        return settle if settle is not None else float("inf")
+
+    ideal = simulate(use_observer=False)
+    observed = simulate(use_observer=True)
+    print(f"full-state feedback settling time : {ideal:.2f} s")
+    print(f"observer-based feedback settling  : {observed:.2f} s")
+    print(
+        "observer overhead                 : "
+        f"{observed - ideal:+.2f} s (estimation transient)"
+    )
+    assert observed < float("inf"), "observer loop failed to settle"
+
+
+if __name__ == "__main__":
+    main()

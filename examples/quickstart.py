@@ -1,0 +1,47 @@
+"""Quickstart: reproduce the paper's Section V case study in a few lines.
+
+The six Table I applications are packed onto shared FlexRay TT slots
+twice — once with the paper's non-monotonic dwell model and once with
+prior work's conservative monotonic model — and the resource usage is
+compared.  Expected output: 3 slots vs 5 slots (+67 %).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    PAPER_TABLE_I,
+    analyze_application,
+    compare_resource_usage,
+    first_fit_allocation,
+    make_analyzed,
+)
+
+
+def main() -> None:
+    # 1. Wrap the Table I timing parameters with each dwell-model shape.
+    non_monotonic = make_analyzed(PAPER_TABLE_I, "non-monotonic")
+    monotonic = make_analyzed(PAPER_TABLE_I, "conservative-monotonic")
+
+    # 2. Pack applications onto the minimum number of shared TT slots.
+    alloc_nm = first_fit_allocation(non_monotonic)
+    alloc_mono = first_fit_allocation(monotonic)
+
+    print("non-monotonic model :", alloc_nm.slot_names)
+    print("monotonic model     :", alloc_mono.slot_names)
+    extra = compare_resource_usage(alloc_nm, alloc_mono)
+    print(f"monotonic model needs {100 * extra:.0f}% more TT slots")
+
+    # 3. Inspect one worst-case analysis: C6 sharing a slot with C3.
+    by_name = {app.name: app for app in non_monotonic}
+    result = analyze_application(by_name["C6"], [by_name["C3"]])
+    print(
+        f"C6 sharing with C3: max wait {result.max_wait:.3f}s, "
+        f"worst response {result.worst_response:.3f}s "
+        f"(deadline {result.deadline}s, schedulable={result.schedulable})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""repro — reproduction of "Exploiting System Dynamics for
+Resource-Efficient Automotive CPS Design" (Maldonado et al., DATE 2019).
+
+The library implements the paper's complete stack:
+
+* :mod:`repro.control` — plants, exact delayed discretisation, LQR and
+  pole-placement controller design (Section II-B);
+* :mod:`repro.flexray` — the hybrid TT/ET FlexRay bus (Section II-A);
+* :mod:`repro.testbed` — a simulated substitute for the paper's servo rig
+  (Figure 2);
+* :mod:`repro.core` — the contribution: switched-system dwell/wait
+  characterisation, conservative PWL dwell models, the maximum-wait fixed
+  point with closed-form bounds, and minimum TT-slot allocation
+  (Sections III-IV);
+* :mod:`repro.sim` — the dynamic-resource-allocation co-simulation
+  (Figure 1 runtime, Figure 5 evaluation);
+* :mod:`repro.baselines` — comparison analyses (CAN RTA, monotonic models,
+  dedicated slots);
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import PAPER_TABLE_I, first_fit_allocation, make_analyzed
+
+    apps = make_analyzed(PAPER_TABLE_I, "non-monotonic")
+    allocation = first_fit_allocation(apps)
+    print(allocation.slot_names)   # [['C3', 'C6'], ['C2', 'C4'], ['C5', 'C1']]
+"""
+
+from repro.core import (
+    PAPER_TABLE_I,
+    AllocationResult,
+    AnalyzedApplication,
+    DwellCurve,
+    LinearSwitchedSystem,
+    PwlDwellModel,
+    TimingParameters,
+    UnschedulableError,
+    analyze_application,
+    analyze_slot,
+    characterize_application,
+    characterize_curve,
+    characterize_plant,
+    characterize_response_source,
+    compare_resource_usage,
+    conservative_monotonic,
+    dedicated_allocation,
+    first_fit_allocation,
+    fit_concave_envelope,
+    fit_conservative_monotonic,
+    fit_two_segment,
+    from_timing_parameters,
+    is_slot_schedulable,
+    make_analyzed,
+    max_wait_closed_form,
+    max_wait_fixed_point,
+    measure_dwell_curve,
+    optimal_allocation,
+    paper_application,
+    priority_order,
+    simple_monotonic,
+    two_segment,
+)
+from repro.control import (
+    ContinuousStateSpace,
+    DelayedStateSpace,
+    PlantDefinition,
+    SwitchedApplication,
+    design_mode_controller,
+    design_switched_application,
+    discretize,
+    discretize_with_delay,
+    dlqr,
+    make_plant,
+    servo_rig,
+    settling_time,
+)
+from repro.flexray import FlexRayBus, FlexRayConfig, FrameSpec, paper_bus_config
+from repro.sim import (
+    AnalyticNetwork,
+    CoSimApplication,
+    CoSimulator,
+    FlexRayNetwork,
+    SimulationTrace,
+    TTSlotArbiter,
+)
+from repro.testbed import ServoRigConfig, ServoTestbed, default_servo_testbed
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AllocationResult",
+    "AnalyticNetwork",
+    "AnalyzedApplication",
+    "CoSimApplication",
+    "CoSimulator",
+    "ContinuousStateSpace",
+    "DelayedStateSpace",
+    "DwellCurve",
+    "FlexRayBus",
+    "FlexRayConfig",
+    "FlexRayNetwork",
+    "FrameSpec",
+    "LinearSwitchedSystem",
+    "PAPER_TABLE_I",
+    "PlantDefinition",
+    "PwlDwellModel",
+    "ServoRigConfig",
+    "ServoTestbed",
+    "SimulationTrace",
+    "SwitchedApplication",
+    "TTSlotArbiter",
+    "TimingParameters",
+    "UnschedulableError",
+    "analyze_application",
+    "analyze_slot",
+    "characterize_application",
+    "characterize_curve",
+    "characterize_plant",
+    "characterize_response_source",
+    "compare_resource_usage",
+    "conservative_monotonic",
+    "dedicated_allocation",
+    "default_servo_testbed",
+    "design_mode_controller",
+    "design_switched_application",
+    "discretize",
+    "discretize_with_delay",
+    "dlqr",
+    "first_fit_allocation",
+    "fit_concave_envelope",
+    "fit_conservative_monotonic",
+    "fit_two_segment",
+    "from_timing_parameters",
+    "is_slot_schedulable",
+    "make_analyzed",
+    "make_plant",
+    "max_wait_closed_form",
+    "max_wait_fixed_point",
+    "measure_dwell_curve",
+    "optimal_allocation",
+    "paper_application",
+    "paper_bus_config",
+    "priority_order",
+    "servo_rig",
+    "settling_time",
+    "simple_monotonic",
+    "two_segment",
+]

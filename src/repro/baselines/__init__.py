@@ -1,0 +1,23 @@
+"""Baseline analyses the paper compares against.
+
+* :mod:`repro.baselines.can_rta` — iterative CAN response-time analysis
+  (Davis et al., the paper's reference [6]);
+* the monotonic dwell models and dedicated-slot allocation live in
+  :mod:`repro.core` (they share all machinery with the contribution).
+"""
+
+from repro.baselines.can_rta import (
+    CanMessage,
+    CanResponse,
+    analyze_message_set,
+    bus_utilization,
+    worst_case_response_time,
+)
+
+__all__ = [
+    "CanMessage",
+    "CanResponse",
+    "analyze_message_set",
+    "bus_utilization",
+    "worst_case_response_time",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro fig3 [--wait-step N]
+    python -m repro fig4
+    python -m repro table1 [--paper-only]
+    python -m repro allocation [--simulated]
+    python -m repro fig5 [--plots] [--analytic]
+    python -m repro ablations [--which segments|fixed-point|threshold|all]
+    python -m repro validate [--seeds N]
+    python -m repro sensitivity [--scales 0.5 1.0 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.sensitivity import deadline_sensitivity
+from repro.core.timing_params import PAPER_TABLE_I
+from repro.experiments import (
+    run_bound_validation,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fixed_point_ablation,
+    run_jitter_ablation,
+    run_paper_allocation,
+    run_pure_et_baseline,
+    run_segment_ablation,
+    run_simulation_allocation,
+    run_table1,
+    run_threshold_sweep,
+)
+from repro.experiments.reporting import format_table
+
+
+def _cmd_fig1(args) -> str:
+    return run_fig1().report()
+
+
+def _cmd_fig3(args) -> str:
+    return run_fig3(wait_step=args.wait_step).report()
+
+
+def _cmd_fig4(args) -> str:
+    return run_fig4(wait_step=args.wait_step).report()
+
+
+def _cmd_table1(args) -> str:
+    result = run_table1(
+        include_simulation=not args.paper_only, wait_step=args.wait_step
+    )
+    return result.report() if not args.paper_only else result.paper_report()
+
+
+def _cmd_allocation(args) -> str:
+    out = [run_paper_allocation().report()]
+    if args.simulated:
+        out.append(run_simulation_allocation(wait_step=args.wait_step).report())
+    return "\n\n".join(out)
+
+
+def _cmd_fig5(args) -> str:
+    result = run_fig5(use_flexray=not args.analytic, wait_step=args.wait_step)
+    return result.report(plots=args.plots)
+
+
+def _cmd_ablations(args) -> str:
+    out = []
+    if args.which in ("segments", "all"):
+        out.append(run_segment_ablation(wait_step=args.wait_step).report())
+    if args.which in ("fixed-point", "all"):
+        out.append(run_fixed_point_ablation().report())
+    if args.which in ("threshold", "all"):
+        out.append(run_threshold_sweep().report())
+    if args.which in ("jitter", "all"):
+        out.append(run_jitter_ablation(wait_step=args.wait_step).report())
+    return "\n\n".join(out)
+
+
+def _cmd_validate(args) -> str:
+    bound = run_bound_validation(seeds=args.seeds, wait_step=args.wait_step)
+    pure = run_pure_et_baseline(wait_step=args.wait_step)
+    return bound.report() + "\n\n" + pure.report()
+
+
+def _cmd_sensitivity(args) -> str:
+    points = deadline_sensitivity(PAPER_TABLE_I, args.scales)
+    rows = [
+        [
+            p.scale,
+            p.slots_non_monotonic if p.slots_non_monotonic is not None else "infeasible",
+            p.slots_monotonic if p.slots_monotonic is not None else "infeasible",
+        ]
+        for p in points
+    ]
+    return "Deadline-tightness sensitivity (paper Table I)\n" + format_table(
+        ["scale", "slots (non-monotonic)", "slots (monotonic)"], rows
+    )
+
+
+def _cmd_all(args) -> str:
+    """Regenerate every artefact in one pass (paper-exact parts first)."""
+    sections = [
+        _cmd_allocation(args),
+        _cmd_table1(args),
+        _cmd_fig1(args),
+        _cmd_fig3(args),
+        _cmd_fig4(args),
+        _cmd_fig5(args),
+        _cmd_ablations(args),
+        _cmd_validate(args),
+        _cmd_sensitivity(args),
+    ]
+    rule = "\n" + "=" * 72 + "\n"
+    return rule.join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts of the DATE 2019 CPS resource paper.",
+    )
+    parser.add_argument(
+        "--wait-step",
+        type=int,
+        default=2,
+        help="dwell-sweep stride in samples (higher = faster, coarser)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Figure 1: scheme state-machine demonstration")
+    sub.add_parser("fig3", help="Figure 3: dwell/wait relation on the servo rig")
+    sub.add_parser("fig4", help="Figure 4: PWL dwell models")
+
+    p_table = sub.add_parser("table1", help="Table I timing parameters")
+    p_table.add_argument("--paper-only", action="store_true")
+
+    p_alloc = sub.add_parser("allocation", help="Section V slot allocation")
+    p_alloc.add_argument("--simulated", action="store_true")
+
+    p_fig5 = sub.add_parser("fig5", help="Figure 5 co-simulation")
+    p_fig5.add_argument("--plots", action="store_true")
+    p_fig5.add_argument("--analytic", action="store_true")
+
+    p_abl = sub.add_parser("ablations", help="E6-E8 ablations")
+    p_abl.add_argument(
+        "--which",
+        choices=["segments", "fixed-point", "threshold", "jitter", "all"],
+        default="all",
+    )
+
+    p_val = sub.add_parser("validate", help="E9-E10 soundness validation")
+    p_val.add_argument("--seeds", type=int, default=5)
+
+    p_sens = sub.add_parser("sensitivity", help="deadline-tightness sweep")
+    p_sens.add_argument(
+        "--scales", type=float, nargs="+", default=[0.5, 0.75, 1.0, 1.5, 2.0]
+    )
+
+    p_all = sub.add_parser("all", help="regenerate every artefact in one pass")
+    p_all.add_argument("--paper-only", action="store_true")
+    p_all.add_argument("--simulated", action="store_true")
+    p_all.add_argument("--plots", action="store_true")
+    p_all.add_argument("--analytic", action="store_true")
+    p_all.add_argument("--which", default="all")
+    p_all.add_argument("--seeds", type=int, default=3)
+    p_all.add_argument(
+        "--scales", type=float, nargs="+", default=[0.5, 0.75, 1.0, 1.5, 2.0]
+    )
+
+    return parser
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "table1": _cmd_table1,
+    "allocation": _cmd_allocation,
+    "fig5": _cmd_fig5,
+    "ablations": _cmd_ablations,
+    "validate": _cmd_validate,
+    "sensitivity": _cmd_sensitivity,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

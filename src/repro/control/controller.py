@@ -1,0 +1,209 @@
+"""Mode controllers and switched closed-loop construction.
+
+For each control application the paper designs two state-feedback
+controllers (Section II-B):
+
+* an **ET controller** for the loop closed over the dynamic segment, which
+  must tolerate the worst-case (large, up to one period) sensor-to-actuator
+  delay; and
+* a **TT controller** for the loop closed over a static slot, where the
+  delay is small and deterministic.
+
+Both loops are represented on the *same* augmented state
+``z[k] = [x[k]; u[k-1]]`` so the switched trajectory of Section III
+(Eqs. 3–4) is a plain product of the two closed-loop matrices ``A1``
+(ET) and ``A2`` (TT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.dare import LqrResult, dlqr
+from repro.control.discretization import discretize_with_delay
+from repro.control.lti import ContinuousStateSpace, DelayedStateSpace
+from repro.utils.linalg import is_schur_stable
+from repro.utils.validation import check_in_range, check_positive, ensure_matrix
+
+
+@dataclass(frozen=True)
+class ModeController:
+    """A designed state-feedback controller for one communication mode.
+
+    The control law is ``u[k] = -K z[k]`` on the augmented state
+    ``z[k] = [x[k]; u[k-1]]`` (for delay-free modes the trailing block of
+    ``K`` is typically ~0, but keeping the shape uniform makes switching
+    trivial).
+
+    Attributes
+    ----------
+    plant:
+        The mode-specific discretisation (its ``delay`` distinguishes
+        ET from TT).
+    gain:
+        Augmented feedback gain ``K`` with shape ``(m, n + m)``.
+    closed_loop:
+        Augmented closed-loop matrix ``A - B K``.
+    """
+
+    plant: DelayedStateSpace
+    gain: np.ndarray
+    closed_loop: np.ndarray
+
+    def __post_init__(self):
+        n_aug = self.plant.n_augmented
+        gain = ensure_matrix(self.gain, "gain", rows=self.plant.n_inputs, cols=n_aug)
+        closed_loop = ensure_matrix(self.closed_loop, "closed_loop", rows=n_aug, cols=n_aug)
+        object.__setattr__(self, "gain", gain)
+        object.__setattr__(self, "closed_loop", closed_loop)
+
+    def control(self, x: np.ndarray, u_prev: np.ndarray) -> np.ndarray:
+        """Compute ``u[k]`` from the current plant state and previous input."""
+        z = np.concatenate([np.asarray(x, float).ravel(), np.asarray(u_prev, float).ravel()])
+        return -self.gain @ z
+
+    def is_stabilizing(self) -> bool:
+        return is_schur_stable(self.closed_loop)
+
+
+def design_mode_controller(
+    plant: ContinuousStateSpace,
+    period: float,
+    delay: float,
+    q: np.ndarray,
+    r: np.ndarray,
+    input_weight: float = 1e-6,
+) -> ModeController:
+    """Design an LQR controller for one communication mode.
+
+    The continuous plant is discretised at ``period`` with the mode's
+    sensor-to-actuator ``delay``, lifted to the delay-free augmented form,
+    and an LQR is designed on the lifted system.  The augmented state cost
+    extends ``q`` with a tiny weight ``input_weight`` on the held-input
+    component so the lifted ``Q`` stays positive semi-definite without
+    distorting the plant-state objective.
+
+    Parameters
+    ----------
+    plant:
+        Continuous-time plant model.
+    period:
+        Sampling period ``h``.
+    delay:
+        Mode delay ``d`` (``~0`` for TT, worst-case bus delay for ET).
+    q, r:
+        LQR weights on the plant state and the input.
+    input_weight:
+        Weight placed on the ``u[k-1]`` component of the lifted state.
+    """
+    period = check_positive(period, "period")
+    delay = check_in_range(delay, "delay", low=0.0, high=period)
+    discrete = discretize_with_delay(plant, period=period, delay=delay)
+    augmented = discrete.augmented()
+    n, m = discrete.n_states, discrete.n_inputs
+    q = ensure_matrix(q, "q", rows=n, cols=n)
+    q_aug = np.zeros((n + m, n + m))
+    q_aug[:n, :n] = q
+    q_aug[n:, n:] = input_weight * np.eye(m)
+    design: LqrResult = dlqr(augmented.a, augmented.b, q_aug, r)
+    return ModeController(plant=discrete, gain=design.gain, closed_loop=design.closed_loop)
+
+
+@dataclass(frozen=True)
+class SwitchedApplication:
+    """A control application with its ET and TT mode loops (paper Sec. II-B).
+
+    Attributes
+    ----------
+    name:
+        Application identifier (e.g. ``"C3"``).
+    et:
+        ET-mode controller; its closed loop is the paper's ``A1``.
+    tt:
+        TT-mode controller; its closed loop is the paper's ``A2``.
+    threshold:
+        Steady-state threshold ``Eth`` on the plant-state norm.
+    """
+
+    name: str
+    et: ModeController
+    tt: ModeController
+    threshold: float
+
+    def __post_init__(self):
+        if self.et.plant.n_augmented != self.tt.plant.n_augmented:
+            raise ValueError("ET and TT loops must share the augmented state dimension")
+        if abs(self.et.plant.period - self.tt.plant.period) > 1e-12:
+            raise ValueError("ET and TT loops must share the sampling period")
+        check_positive(self.threshold, "threshold")
+
+    @property
+    def a1(self) -> np.ndarray:
+        """ET closed-loop matrix (paper's ``A1``)."""
+        return self.et.closed_loop
+
+    @property
+    def a2(self) -> np.ndarray:
+        """TT closed-loop matrix (paper's ``A2``)."""
+        return self.tt.closed_loop
+
+    @property
+    def period(self) -> float:
+        return self.et.plant.period
+
+    @property
+    def n_plant_states(self) -> int:
+        return self.et.plant.n_states
+
+    def plant_norm_selector(self) -> np.ndarray:
+        """Selector extracting plant states ``x`` from ``z = [x; u_prev]``."""
+        return self.et.plant.augmented().plant_norm_selector()
+
+    def initial_state(self, x0: np.ndarray) -> np.ndarray:
+        """Augmented initial condition for a disturbance that sets ``x = x0``.
+
+        The held input is zero immediately after a disturbance hits a
+        system at rest, matching the paper's experiment (load displaced,
+        zero angular velocity, no control history).
+        """
+        x0 = np.asarray(x0, dtype=float).ravel()
+        if x0.size != self.n_plant_states:
+            raise ValueError(
+                f"x0 must have {self.n_plant_states} entries, got {x0.size}"
+            )
+        return np.concatenate([x0, np.zeros(self.et.plant.n_inputs)])
+
+
+def design_switched_application(
+    name: str,
+    plant: ContinuousStateSpace,
+    period: float,
+    et_delay: float,
+    tt_delay: float,
+    q: np.ndarray,
+    r: np.ndarray,
+    threshold: float,
+) -> SwitchedApplication:
+    """Design both mode controllers for a plant and bundle them.
+
+    This is the library's main entry point for constructing the switched
+    system of paper Section III from a physical plant description.
+    """
+    if not 0.0 <= tt_delay < et_delay <= period + 1e-12:
+        raise ValueError(
+            "expected 0 <= tt_delay < et_delay <= period; "
+            f"got tt_delay={tt_delay}, et_delay={et_delay}, period={period}"
+        )
+    et = design_mode_controller(plant, period=period, delay=et_delay, q=q, r=r)
+    tt = design_mode_controller(plant, period=period, delay=tt_delay, q=q, r=r)
+    return SwitchedApplication(name=name, et=et, tt=tt, threshold=threshold)
+
+
+__all__ = [
+    "ModeController",
+    "SwitchedApplication",
+    "design_mode_controller",
+    "design_switched_application",
+]

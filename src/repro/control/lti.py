@@ -1,0 +1,235 @@
+"""Continuous- and discrete-time LTI state-space models.
+
+The paper's plant model (Eq. 1) is a discrete-time LTI system with a
+one-step split of the input influence::
+
+    x[k+1] = Phi x[k] + Gamma0 u[k] + Gamma1 u[k-1]
+    y[k]   = C x[k]
+
+:class:`DelayedStateSpace` represents exactly this form; it is produced
+from a :class:`ContinuousStateSpace` by
+:func:`repro.control.discretization.discretize_with_delay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.linalg import is_schur_stable, spectral_radius
+from repro.utils.validation import check_vector, ensure_matrix
+
+
+@dataclass(frozen=True)
+class ContinuousStateSpace:
+    """Continuous-time LTI model ``dx/dt = A x + B u``, ``y = C x``.
+
+    Attributes
+    ----------
+    a:
+        State matrix of shape ``(n, n)``.
+    b:
+        Input matrix of shape ``(n, m)``.
+    c:
+        Output matrix of shape ``(p, n)``; defaults to identity (full state
+        output) when omitted.
+    name:
+        Optional human-readable plant name, used in reports.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray = None
+    name: str = ""
+
+    def __post_init__(self):
+        a = ensure_matrix(self.a, "a")
+        if a.shape[0] != a.shape[1]:
+            raise ValueError(f"a must be square, got shape {a.shape}")
+        b = ensure_matrix(self.b, "b", rows=a.shape[0])
+        c = self.c
+        if c is None:
+            c = np.eye(a.shape[0])
+        c = ensure_matrix(c, "c", cols=a.shape[0])
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+
+    @property
+    def n_states(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    def is_stable(self) -> bool:
+        """Whether all eigenvalues of ``A`` have negative real part."""
+        return bool(np.all(np.linalg.eigvals(self.a).real < 0))
+
+
+@dataclass(frozen=True)
+class DelayedStateSpace:
+    """Discrete-time plant with intra-sample input delay (paper Eq. 1).
+
+    ``x[k+1] = phi x[k] + gamma0 u[k] + gamma1 u[k-1]``, ``y[k] = c x[k]``.
+
+    ``gamma0`` carries the part of the input applied *within* the current
+    sampling interval (after the sensor-to-actuator delay ``d``), while
+    ``gamma1`` carries the leftover influence of the previous input that is
+    still held during ``[t_k, t_k + d)``.
+
+    Attributes
+    ----------
+    phi, gamma0, gamma1, c:
+        System matrices.
+    period:
+        Sampling period ``h`` in seconds.
+    delay:
+        Sensor-to-actuator delay ``d`` in seconds, with ``0 <= d <= h``.
+    name:
+        Optional plant name carried over from the continuous model.
+    """
+
+    phi: np.ndarray
+    gamma0: np.ndarray
+    gamma1: np.ndarray
+    c: np.ndarray
+    period: float
+    delay: float = 0.0
+    name: str = ""
+
+    def __post_init__(self):
+        phi = ensure_matrix(self.phi, "phi")
+        n = phi.shape[0]
+        if phi.shape[0] != phi.shape[1]:
+            raise ValueError(f"phi must be square, got shape {phi.shape}")
+        gamma0 = ensure_matrix(self.gamma0, "gamma0", rows=n)
+        gamma1 = ensure_matrix(self.gamma1, "gamma1", rows=n, cols=gamma0.shape[1])
+        c = ensure_matrix(self.c, "c", cols=n)
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0.0 <= self.delay <= self.period + 1e-12:
+            raise ValueError(
+                f"delay must lie in [0, period]; got delay={self.delay}, period={self.period}"
+            )
+        object.__setattr__(self, "phi", phi)
+        object.__setattr__(self, "gamma0", gamma0)
+        object.__setattr__(self, "gamma1", gamma1)
+        object.__setattr__(self, "c", c)
+
+    @property
+    def n_states(self) -> int:
+        return self.phi.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.gamma0.shape[1]
+
+    @property
+    def n_augmented(self) -> int:
+        """Dimension of the augmented state ``[x; u_prev]``."""
+        return self.n_states + self.n_inputs
+
+    def augmented(self) -> "AugmentedStateSpace":
+        """Lift to the delay-free augmented form ``z[k] = [x[k]; u[k-1]]``.
+
+        ``z[k+1] = A z[k] + B u[k]`` with::
+
+            A = [phi  gamma1]     B = [gamma0]
+                [ 0     0   ]         [  I   ]
+
+        State feedback designed on ``(A, B)`` is then a *dynamic* feedback
+        ``u[k] = -Kx x[k] - Ku u[k-1]`` on the original plant.
+        """
+        n, m = self.n_states, self.n_inputs
+        a = np.zeros((n + m, n + m))
+        a[:n, :n] = self.phi
+        a[:n, n:] = self.gamma1
+        b = np.zeros((n + m, m))
+        b[:n, :] = self.gamma0
+        b[n:, :] = np.eye(m)
+        return AugmentedStateSpace(a=a, b=b, n_plant_states=n, period=self.period)
+
+    def step(self, x: np.ndarray, u: np.ndarray, u_prev: np.ndarray) -> np.ndarray:
+        """Advance the plant one sampling period."""
+        x = check_vector(x, "x", size=self.n_states)
+        u = check_vector(u, "u", size=self.n_inputs)
+        u_prev = check_vector(u_prev, "u_prev", size=self.n_inputs)
+        return self.phi @ x + self.gamma0 @ u + self.gamma1 @ u_prev
+
+
+@dataclass(frozen=True)
+class AugmentedStateSpace:
+    """Delay-free lifting ``z[k+1] = A z[k] + B u[k]`` of a delayed plant."""
+
+    a: np.ndarray
+    b: np.ndarray
+    n_plant_states: int
+    period: float
+
+    def __post_init__(self):
+        a = ensure_matrix(self.a, "a")
+        b = ensure_matrix(self.b, "b", rows=a.shape[0])
+        if not 0 < self.n_plant_states <= a.shape[0]:
+            raise ValueError("n_plant_states must lie in (0, dim(a)]")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    @property
+    def n_states(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    def closed_loop(self, gain: np.ndarray) -> np.ndarray:
+        """Closed-loop matrix ``A - B K`` for ``u[k] = -K z[k]``."""
+        gain = ensure_matrix(gain, "gain", rows=self.n_inputs, cols=self.n_states)
+        return self.a - self.b @ gain
+
+    def plant_norm_selector(self) -> np.ndarray:
+        """Matrix ``S`` extracting plant states from the augmented state.
+
+        The paper's switching threshold compares ``||x||`` (plant states
+        only), not the norm of the lifted state; multiply trajectories by
+        this selector before taking norms.
+        """
+        n = self.n_plant_states
+        selector = np.zeros((n, self.n_states))
+        selector[:, :n] = np.eye(n)
+        return selector
+
+
+def simulate_autonomous(a: np.ndarray, x0: np.ndarray, steps: int) -> np.ndarray:
+    """Trajectory of ``x[k+1] = A x[k]`` for ``k = 0..steps`` inclusive.
+
+    Returns an array of shape ``(steps + 1, n)`` whose first row is ``x0``.
+    """
+    a = ensure_matrix(a, "a")
+    x0 = check_vector(x0, "x0", size=a.shape[0])
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    out = np.empty((steps + 1, a.shape[0]))
+    out[0] = x0
+    x = x0
+    for k in range(steps):
+        x = a @ x
+        out[k + 1] = x
+    return out
+
+
+__all__ = [
+    "AugmentedStateSpace",
+    "ContinuousStateSpace",
+    "DelayedStateSpace",
+    "is_schur_stable",
+    "simulate_autonomous",
+    "spectral_radius",
+]

@@ -1,0 +1,122 @@
+"""Luenberger observers for output-feedback operation (extension).
+
+The paper assumes the sensing task reads the full plant state.  Real
+automotive sensors often expose only part of it (e.g. the encoder of the
+Figure 2 rig measures the angle but not the angular velocity); a state
+observer reconstructs the rest.  This module designs discrete-time
+Luenberger observers by duality with the pole-placement/LQR machinery
+and provides the certainty-equivalence closed loop, so every analysis in
+:mod:`repro.core` can also be run for output-feedback configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.control.dare import dlqr
+from repro.control.lti import DelayedStateSpace
+from repro.control.pole_placement import place_gain
+from repro.utils.linalg import is_schur_stable
+from repro.utils.validation import check_vector, ensure_matrix
+
+
+class ObserverDesignError(RuntimeError):
+    """Raised when no stable observer can be designed."""
+
+
+@dataclass(frozen=True)
+class LuenbergerObserver:
+    """Discrete-time observer ``xhat[k+1] = Phi xhat + Gamma u + L (y - C xhat)``.
+
+    Attributes
+    ----------
+    plant:
+        The (delay-free part of the) discrete plant being observed.
+    gain:
+        Observer gain ``L`` of shape ``(n, p)``.
+    """
+
+    plant: DelayedStateSpace
+    gain: np.ndarray
+
+    def __post_init__(self):
+        gain = ensure_matrix(
+            self.gain, "gain", rows=self.plant.n_states, cols=self.plant.c.shape[0]
+        )
+        object.__setattr__(self, "gain", gain)
+        if not is_schur_stable(self.error_dynamics()):
+            raise ObserverDesignError("observer error dynamics are unstable")
+
+    def error_dynamics(self) -> np.ndarray:
+        """Estimation-error matrix ``Phi - L C``."""
+        return self.plant.phi - self.gain @ self.plant.c
+
+    def update(
+        self,
+        xhat: np.ndarray,
+        u: np.ndarray,
+        u_prev: np.ndarray,
+        measurement: np.ndarray,
+    ) -> np.ndarray:
+        """One observer step given the applied inputs and the new output."""
+        xhat = check_vector(xhat, "xhat", size=self.plant.n_states)
+        innovation = np.asarray(measurement, float).ravel() - self.plant.c @ xhat
+        prediction = (
+            self.plant.phi @ xhat
+            + self.plant.gamma0 @ np.asarray(u, float).ravel()
+            + self.plant.gamma1 @ np.asarray(u_prev, float).ravel()
+        )
+        return prediction + self.gain @ innovation
+
+
+def _check_observability(plant: DelayedStateSpace) -> None:
+    n = plant.n_states
+    rows = [plant.c]
+    for _ in range(n - 1):
+        rows.append(rows[-1] @ plant.phi)
+    observability = np.vstack(rows)
+    if np.linalg.matrix_rank(observability, tol=1e-10) < n:
+        raise ObserverDesignError(
+            "the pair (Phi, C) is not observable; no observer exists"
+        )
+
+
+def design_observer_poles(
+    plant: DelayedStateSpace, poles: Sequence[complex]
+) -> LuenbergerObserver:
+    """Place the observer poles by duality: ``L' = place(Phi', C')``."""
+    _check_observability(plant)
+    gain_t = place_gain(plant.phi.T, plant.c.T, poles)
+    return LuenbergerObserver(plant=plant, gain=gain_t.T)
+
+
+def design_observer_lqe(
+    plant: DelayedStateSpace,
+    process_noise: np.ndarray,
+    measurement_noise: np.ndarray,
+) -> LuenbergerObserver:
+    """Steady-state Kalman-style observer gain via the dual LQR.
+
+    Solving the LQR for ``(Phi', C', Q_w, R_v)`` yields the steady-state
+    filter gain ``L = K'`` for process covariance ``Q_w`` and measurement
+    covariance ``R_v``.
+    """
+    _check_observability(plant)
+    design = dlqr(
+        plant.phi.T,
+        plant.c.T,
+        ensure_matrix(process_noise, "process_noise"),
+        ensure_matrix(measurement_noise, "measurement_noise"),
+    )
+    return LuenbergerObserver(plant=plant, gain=design.gain.T)
+
+
+__all__ = [
+    "LuenbergerObserver",
+    "ObserverDesignError",
+    "design_observer_lqe",
+    "design_observer_poles",
+]

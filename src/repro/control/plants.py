@@ -1,0 +1,353 @@
+"""Library of automotive plant models.
+
+The paper's Figure 2/3 experiment uses a physical servo rig (a rigid
+stick with a 300 g end mass mounted on a Harmonic Drive servo motor, held
+upright by torque control).  We cannot access that hardware, so
+:func:`servo_rig` provides the linearised dynamics of the same mechanical
+arrangement; DESIGN.md records the substitution.
+
+The six case-study applications of Section V are not disclosed in the
+paper, so :data:`CASE_STUDY_PLANTS` assembles six standard automotive
+control plants with comparable dynamic ranges to exercise the full
+characterisation pipeline end-to-end.
+
+Every factory returns a :class:`PlantDefinition` bundling the continuous
+model with reasonable LQR weights, a canonical disturbance, the
+steady-state threshold, and the sampling period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.control.lti import ContinuousStateSpace
+from repro.utils.validation import check_positive, check_vector, ensure_matrix
+
+
+@dataclass(frozen=True)
+class PlantDefinition:
+    """A plant plus everything needed to characterise it.
+
+    Attributes
+    ----------
+    model:
+        Continuous-time dynamics.
+    q, r:
+        Default LQR weights for both mode controllers.
+    disturbance:
+        Canonical post-disturbance plant state ``x0`` (the state the
+        disturbance instantaneously pushes the plant to).
+    threshold:
+        Steady-state threshold ``Eth`` on ``||x||``.
+    period:
+        Recommended sampling period ``h`` in seconds.
+    """
+
+    model: ContinuousStateSpace
+    q: np.ndarray
+    r: np.ndarray
+    disturbance: np.ndarray
+    threshold: float
+    period: float
+
+    def __post_init__(self):
+        n = self.model.n_states
+        object.__setattr__(self, "q", ensure_matrix(self.q, "q", rows=n, cols=n))
+        object.__setattr__(
+            self, "r", ensure_matrix(self.r, "r", rows=self.model.n_inputs, cols=self.model.n_inputs)
+        )
+        object.__setattr__(self, "disturbance", check_vector(self.disturbance, "disturbance", size=n))
+        check_positive(self.threshold, "threshold")
+        check_positive(self.period, "period")
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+def servo_rig(
+    mass: float = 0.3,
+    length: float = 0.2,
+    damping: float = 0.012,
+    gravity: float = 9.81,
+    q_scale: float = 1.0,
+    r_scale: float = 1.0,
+) -> PlantDefinition:
+    """Inverted stick on a servo motor shaft (paper Figure 2).
+
+    Linearised about the upright equilibrium the plant is the unstable
+    second-order system::
+
+        d/dt [theta, omega] = [[0, 1], [g/l, -b/J]] [theta, omega] + [0, 1/J] tau
+
+    with ``J = m l^2`` the end-mass inertia.  Defaults use the paper's
+    300 g end mass on a 20 cm stick.  The canonical disturbance displaces
+    the stick by 45 degrees with zero angular velocity and the threshold
+    is the paper's ``Eth = 0.1``; the sampling period is the paper's
+    ``h = 20 ms``.
+    """
+    mass = check_positive(mass, "mass")
+    length = check_positive(length, "length")
+    inertia = mass * length**2
+    a = np.array([[0.0, 1.0], [gravity / length, -damping / inertia]])
+    b = np.array([[0.0], [1.0 / inertia]])
+    model = ContinuousStateSpace(a=a, b=b, name="servo-rig")
+    return PlantDefinition(
+        model=model,
+        q=q_scale * np.diag([10.0, 0.1]),
+        r=r_scale * np.array([[0.08]]),
+        disturbance=np.array([np.deg2rad(45.0), 0.0]),
+        threshold=0.1,
+        period=0.020,
+    )
+
+
+def dc_motor_speed(
+    inertia: float = 0.01,
+    damping: float = 0.1,
+    torque_constant: float = 0.05,
+    resistance: float = 1.0,
+    inductance: float = 0.5,
+) -> PlantDefinition:
+    """DC-motor speed control (states: shaft speed, armature current)."""
+    a = np.array(
+        [
+            [-damping / inertia, torque_constant / inertia],
+            [-torque_constant / inductance, -resistance / inductance],
+        ]
+    )
+    b = np.array([[0.0], [1.0 / inductance]])
+    model = ContinuousStateSpace(a=a, b=b, name="dc-motor-speed")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([5.0, 0.05]),
+        r=np.array([[0.5]]),
+        disturbance=np.array([1.0, 0.0]),
+        threshold=0.05,
+        period=0.020,
+    )
+
+
+def cruise_control(mass: float = 1200.0, drag: float = 60.0) -> PlantDefinition:
+    """Vehicle longitudinal speed regulation (single state: speed error)."""
+    a = np.array([[-drag / mass]])
+    b = np.array([[1.0 / mass]])
+    model = ContinuousStateSpace(a=a, b=b, name="cruise-control")
+    return PlantDefinition(
+        model=model,
+        q=np.array([[2.0]]),
+        r=np.array([[1e-5]]),
+        disturbance=np.array([1.5]),
+        threshold=0.05,
+        period=0.020,
+    )
+
+
+def active_suspension(
+    sprung_mass: float = 300.0,
+    unsprung_mass: float = 40.0,
+    spring: float = 16_000.0,
+    tire_spring: float = 160_000.0,
+    damper: float = 1_000.0,
+) -> PlantDefinition:
+    """Quarter-car active suspension with an actuator force input.
+
+    States: sprung-mass displacement/velocity, unsprung-mass
+    displacement/velocity (displacements relative to equilibrium).
+    """
+    ms, mu = sprung_mass, unsprung_mass
+    ks, kt, bs = spring, tire_spring, damper
+    a = np.array(
+        [
+            [0.0, 1.0, 0.0, 0.0],
+            [-ks / ms, -bs / ms, ks / ms, bs / ms],
+            [0.0, 0.0, 0.0, 1.0],
+            [ks / mu, bs / mu, -(ks + kt) / mu, -bs / mu],
+        ]
+    )
+    b = np.array([[0.0], [1.0 / ms], [0.0], [-1.0 / mu]])
+    model = ContinuousStateSpace(a=a, b=b, name="active-suspension")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([4_000.0, 20.0, 80.0, 2.0]),
+        r=np.array([[1e-6]]),
+        disturbance=np.array([0.05, 0.0, 0.02, 0.0]),
+        threshold=0.005,
+        period=0.020,
+    )
+
+
+def electric_power_steering(
+    inertia: float = 0.04,
+    damping: float = 0.3,
+    stiffness: float = 2.0,
+) -> PlantDefinition:
+    """Steering-column angle tracking with assist-torque input."""
+    a = np.array([[0.0, 1.0], [-stiffness / inertia, -damping / inertia]])
+    b = np.array([[0.0], [1.0 / inertia]])
+    model = ContinuousStateSpace(a=a, b=b, name="electric-power-steering")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([8.0, 0.2]),
+        r=np.array([[0.1]]),
+        disturbance=np.array([0.5, 0.0]),
+        threshold=0.05,
+        period=0.020,
+    )
+
+
+def throttle_by_wire(
+    inertia: float = 0.002,
+    damping: float = 0.03,
+    return_spring: float = 0.4,
+) -> PlantDefinition:
+    """Electronic throttle plate positioning against a return spring."""
+    a = np.array([[0.0, 1.0], [-return_spring / inertia, -damping / inertia]])
+    b = np.array([[0.0], [1.0 / inertia]])
+    model = ContinuousStateSpace(a=a, b=b, name="throttle-by-wire")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([6.0, 0.05]),
+        r=np.array([[0.4]]),
+        disturbance=np.array([0.8, 0.0]),
+        threshold=0.08,
+        period=0.020,
+    )
+
+
+def lateral_dynamics(
+    mass: float = 1500.0,
+    yaw_inertia: float = 2500.0,
+    front_stiffness: float = 80_000.0,
+    rear_stiffness: float = 80_000.0,
+    front_axle: float = 1.2,
+    rear_axle: float = 1.5,
+    speed: float = 25.0,
+) -> PlantDefinition:
+    """Single-track (bicycle) lateral vehicle model with steering input.
+
+    States: lateral velocity and yaw rate; input: front steering angle.
+    Used as a lane-keeping substrate plant.
+    """
+    cf, cr, lf, lr = front_stiffness, rear_stiffness, front_axle, rear_axle
+    m, iz, v = mass, yaw_inertia, speed
+    a = np.array(
+        [
+            [-(cf + cr) / (m * v), (cr * lr - cf * lf) / (m * v) - v],
+            [(cr * lr - cf * lf) / (iz * v), -(cf * lf**2 + cr * lr**2) / (iz * v)],
+        ]
+    )
+    b = np.array([[cf / m], [cf * lf / iz]])
+    model = ContinuousStateSpace(a=a, b=b, name="lateral-dynamics")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([0.5, 4.0]),
+        r=np.array([[8.0]]),
+        disturbance=np.array([0.8, 0.3]),
+        threshold=0.05,
+        period=0.020,
+    )
+
+
+def engine_idle_speed(
+    inertia: float = 0.2,
+    damping: float = 0.9,
+    torque_lag: float = 0.15,
+) -> PlantDefinition:
+    """Engine idle-speed regulation with intake-torque lag.
+
+    States: engine-speed error and delivered torque (first-order lag on
+    the commanded torque); input: torque command.
+    """
+    a = np.array(
+        [
+            [-damping / inertia, 1.0 / inertia],
+            [0.0, -1.0 / torque_lag],
+        ]
+    )
+    b = np.array([[0.0], [1.0 / torque_lag]])
+    model = ContinuousStateSpace(a=a, b=b, name="engine-idle-speed")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([3.0, 0.02]),
+        r=np.array([[0.2]]),
+        disturbance=np.array([5.0, 0.0]),
+        threshold=0.5,
+        period=0.020,
+    )
+
+
+def wiper_positioning(
+    inertia: float = 0.015,
+    damping: float = 0.12,
+    linkage_stiffness: float = 1.2,
+) -> PlantDefinition:
+    """Windshield-wiper arm positioning through a compliant linkage."""
+    a = np.array(
+        [[0.0, 1.0], [-linkage_stiffness / inertia, -damping / inertia]]
+    )
+    b = np.array([[0.0], [1.0 / inertia]])
+    model = ContinuousStateSpace(a=a, b=b, name="wiper-positioning")
+    return PlantDefinition(
+        model=model,
+        q=np.diag([5.0, 0.1]),
+        r=np.array([[0.3]]),
+        disturbance=np.array([0.6, 0.0]),
+        threshold=0.06,
+        period=0.020,
+    )
+
+
+PLANT_REGISTRY: Dict[str, Callable[[], PlantDefinition]] = {
+    "servo-rig": servo_rig,
+    "dc-motor-speed": dc_motor_speed,
+    "cruise-control": cruise_control,
+    "active-suspension": active_suspension,
+    "electric-power-steering": electric_power_steering,
+    "throttle-by-wire": throttle_by_wire,
+    "lateral-dynamics": lateral_dynamics,
+    "engine-idle-speed": engine_idle_speed,
+    "wiper-positioning": wiper_positioning,
+}
+"""All plant factories by name."""
+
+
+CASE_STUDY_PLANTS = (
+    "servo-rig",
+    "dc-motor-speed",
+    "active-suspension",
+    "electric-power-steering",
+    "throttle-by-wire",
+    "lateral-dynamics",
+)
+"""The six plants used for the simulation-mode case study (paper Sec. V)."""
+
+
+def make_plant(name: str) -> PlantDefinition:
+    """Instantiate a registered plant by name."""
+    try:
+        factory = PLANT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PLANT_REGISTRY))
+        raise KeyError(f"unknown plant {name!r}; known plants: {known}") from None
+    return factory()
+
+
+__all__ = [
+    "CASE_STUDY_PLANTS",
+    "PLANT_REGISTRY",
+    "PlantDefinition",
+    "active_suspension",
+    "cruise_control",
+    "dc_motor_speed",
+    "electric_power_steering",
+    "engine_idle_speed",
+    "lateral_dynamics",
+    "make_plant",
+    "servo_rig",
+    "throttle_by_wire",
+    "wiper_positioning",
+]

@@ -1,0 +1,264 @@
+"""TT-slot allocation (paper Section IV, last paragraph, and Section V).
+
+Given analysed applications, pack them onto the minimum number of shared
+TT slots such that every application remains schedulable.  The paper
+uses a first-fit heuristic over applications sorted by priority
+(deadline); finding the optimum is NP-hard, but for small sets the
+exhaustive partition search here confirms the heuristic's quality.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    ResponseAnalysis,
+    analyze_slot,
+    is_slot_schedulable,
+)
+from repro.core.timing_params import TimingParameters, priority_order
+from repro.core.pwl import from_timing_parameters
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a slot-allocation run.
+
+    Attributes
+    ----------
+    slots:
+        One list of applications per TT slot, in allocation order.
+    analyses:
+        Final per-application worst-case analysis, keyed by name.
+    method:
+        Wait-time analysis method used (``closed-form``/``fixed-point``).
+    """
+
+    slots: List[List[AnalyzedApplication]]
+    analyses: Dict[str, ResponseAnalysis]
+    method: str
+
+    @property
+    def slot_count(self) -> int:
+        return len(self.slots)
+
+    @property
+    def slot_names(self) -> List[List[str]]:
+        return [[app.name for app in slot] for slot in self.slots]
+
+    def slot_of(self, name: str) -> int:
+        """Zero-based slot index hosting the named application."""
+        for index, slot in enumerate(self.slots):
+            if any(app.name == name for app in slot):
+                return index
+        raise KeyError(f"application {name!r} is not allocated")
+
+    def all_schedulable(self) -> bool:
+        return all(result.schedulable for result in self.analyses.values())
+
+
+def make_analyzed(
+    apps: Sequence[TimingParameters], shape: str = "non-monotonic"
+) -> List[AnalyzedApplication]:
+    """Wrap timing parameters with the requested dwell-model shape."""
+    return [
+        AnalyzedApplication(params=params, dwell_model=from_timing_parameters(params, shape))
+        for params in apps
+    ]
+
+
+def first_fit_allocation(
+    apps: Sequence[AnalyzedApplication],
+    method: str = "closed-form",
+    max_slots: Optional[int] = None,
+) -> AllocationResult:
+    """The paper's first-fit heuristic.
+
+    Applications are taken in decreasing priority (shortest deadline
+    first).  Each is tentatively added to the earliest existing slot; if
+    the whole slot (including previously placed applications, whose
+    schedulability the newcomer can break) remains schedulable it stays,
+    otherwise the next slot is tried, and a fresh slot is opened when
+    none fits.
+
+    Parameters
+    ----------
+    apps:
+        Applications to place.
+    method:
+        Wait-time analysis method.
+    max_slots:
+        Optional cap; exceeding it raises :class:`ValueError` (the paper
+        assumes the result fits within the bus's ``m`` static slots).
+    """
+    slots: List[List[AnalyzedApplication]] = []
+    for app in priority_order(apps):
+        placed = False
+        for slot in slots:
+            candidate = slot + [app]
+            if is_slot_schedulable(candidate, method=method):
+                slot.append(app)
+                placed = True
+                break
+        if not placed:
+            if not is_slot_schedulable([app], method=method):
+                raise ValueError(
+                    f"application {app.name} cannot meet its deadline even on "
+                    "a dedicated TT slot"
+                )
+            slots.append([app])
+            if max_slots is not None and len(slots) > max_slots:
+                raise ValueError(
+                    f"allocation needs more than the available {max_slots} TT slots"
+                )
+    return _finalize(slots, method)
+
+
+def best_fit_allocation(
+    apps: Sequence[AnalyzedApplication],
+    method: str = "closed-form",
+) -> AllocationResult:
+    """Best-fit variant: place each application on the *fullest* slot
+    (most applications) that still keeps everyone schedulable.
+
+    Packs tighter than first-fit on some instances; provided as an
+    alternative heuristic for comparison.
+    """
+    slots: List[List[AnalyzedApplication]] = []
+    for app in priority_order(apps):
+        candidates = [
+            slot
+            for slot in slots
+            if is_slot_schedulable(slot + [app], method=method)
+        ]
+        if candidates:
+            max(candidates, key=len).append(app)
+            continue
+        if not is_slot_schedulable([app], method=method):
+            raise ValueError(
+                f"application {app.name} cannot meet its deadline even on "
+                "a dedicated TT slot"
+            )
+        slots.append([app])
+    return _finalize(slots, method)
+
+
+def worst_fit_allocation(
+    apps: Sequence[AnalyzedApplication],
+    method: str = "closed-form",
+) -> AllocationResult:
+    """Worst-fit variant: place each application on the *emptiest*
+    feasible slot, spreading load across slots.
+
+    Never beats first-fit on slot count (it only opens slots the other
+    heuristics would too) but yields more slack per slot; useful as a
+    robustness-oriented baseline.
+    """
+    slots: List[List[AnalyzedApplication]] = []
+    for app in priority_order(apps):
+        candidates = [
+            slot
+            for slot in slots
+            if is_slot_schedulable(slot + [app], method=method)
+        ]
+        if candidates:
+            min(candidates, key=len).append(app)
+            continue
+        if not is_slot_schedulable([app], method=method):
+            raise ValueError(
+                f"application {app.name} cannot meet its deadline even on "
+                "a dedicated TT slot"
+            )
+        slots.append([app])
+    return _finalize(slots, method)
+
+
+def dedicated_allocation(
+    apps: Sequence[AnalyzedApplication], method: str = "closed-form"
+) -> AllocationResult:
+    """Baseline: one dedicated TT slot per application (no sharing)."""
+    slots = [[app] for app in priority_order(apps)]
+    return _finalize(slots, method)
+
+
+def optimal_allocation(
+    apps: Sequence[AnalyzedApplication],
+    method: str = "closed-form",
+    max_apps: int = 10,
+) -> AllocationResult:
+    """Exhaustive minimum-slot partition search (small instances only).
+
+    Enumerates set partitions in order of increasing block count and
+    returns the first fully schedulable one.  Complexity is the Bell
+    number of ``len(apps)``; refuse anything beyond ``max_apps``.
+    """
+    apps = list(priority_order(apps))
+    if len(apps) > max_apps:
+        raise ValueError(
+            f"optimal allocation is exponential; refusing {len(apps)} apps "
+            f"(max_apps={max_apps})"
+        )
+    for count in range(1, len(apps) + 1):
+        for partition in _partitions_into(apps, count):
+            if all(is_slot_schedulable(slot, method=method) for slot in partition):
+                return _finalize([list(slot) for slot in partition], method)
+    # Dedicated slots are always a valid partition if each app alone is
+    # schedulable; reaching here means some app misses even alone.
+    raise ValueError("no schedulable allocation exists (some deadline < xi_tt?)")
+
+
+def _partitions_into(items: List, blocks: int):
+    """Yield all partitions of ``items`` into exactly ``blocks`` groups."""
+    if blocks == 1:
+        yield [items]
+        return
+    if blocks == len(items):
+        yield [[item] for item in items]
+        return
+    if blocks > len(items):
+        return
+    first, rest = items[0], items[1:]
+    # Either `first` joins an existing block of a (blocks)-partition of rest...
+    for partition in _partitions_into(rest, blocks):
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[first] + partition[index]]
+                + partition[index + 1:]
+            )
+    # ...or forms its own block atop a (blocks-1)-partition of rest.
+    for partition in _partitions_into(rest, blocks - 1):
+        yield [[first]] + partition
+
+
+def _finalize(slots: List[List[AnalyzedApplication]], method: str) -> AllocationResult:
+    analyses: Dict[str, ResponseAnalysis] = {}
+    for slot in slots:
+        for result in analyze_slot(slot, method=method):
+            analyses[result.name] = result
+    return AllocationResult(slots=slots, analyses=analyses, method=method)
+
+
+def compare_resource_usage(
+    non_monotonic: AllocationResult, monotonic: AllocationResult
+) -> float:
+    """Extra TT-slot fraction the monotonic model needs (paper: +67 %)."""
+    base = non_monotonic.slot_count
+    if base == 0:
+        raise ValueError("non-monotonic allocation has no slots")
+    return (monotonic.slot_count - base) / base
+
+
+__all__ = [
+    "AllocationResult",
+    "best_fit_allocation",
+    "compare_resource_usage",
+    "dedicated_allocation",
+    "first_fit_allocation",
+    "make_analyzed",
+    "optimal_allocation",
+    "worst_fit_allocation",
+]

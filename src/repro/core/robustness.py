@@ -1,0 +1,113 @@
+"""Robustness margins of a schedulable allocation.
+
+The dwell models come from measurements; if the real system dwells
+*longer* than modelled (ageing, unmodelled load), the certified
+deadlines erode.  :func:`dwell_margin` answers "by how much can every
+maximum dwell grow before the allocation stops being schedulable?" — a
+one-number robustness certificate for a deployed configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.pwl import PwlDwellModel
+from repro.core.schedulability import AnalyzedApplication, is_slot_schedulable
+from repro.utils.validation import check_positive
+
+
+def scale_dwell_model(model: PwlDwellModel, factor: float) -> PwlDwellModel:
+    """Scale every modelled dwell by ``factor`` (waits unchanged)."""
+    check_positive(factor, "factor")
+    return PwlDwellModel(
+        breakpoints=tuple((w, d * factor) for w, d in model.breakpoints),
+        label=model.label,
+    )
+
+
+def scale_applications(
+    apps: Sequence[AnalyzedApplication], factor: float
+) -> List[AnalyzedApplication]:
+    """Scale the dwell model of every application by ``factor``."""
+    return [
+        AnalyzedApplication(
+            params=app.params,
+            dwell_model=scale_dwell_model(app.dwell_model, factor),
+        )
+        for app in apps
+    ]
+
+
+@dataclass(frozen=True)
+class DwellMarginResult:
+    """Largest uniform dwell inflation an allocation survives."""
+
+    margin: float
+    slot_margins: List[float]
+
+    @property
+    def critical_slot(self) -> int:
+        """Index of the slot that fails first as dwells grow."""
+        return min(range(len(self.slot_margins)), key=lambda i: self.slot_margins[i])
+
+
+def slot_dwell_margin(
+    slot: Sequence[AnalyzedApplication],
+    method: str = "closed-form",
+    hi: float = 16.0,
+    tolerance: float = 1e-3,
+) -> float:
+    """Largest uniform dwell-scale factor keeping one slot schedulable.
+
+    Bisects on the factor; returns at most ``hi``.  A margin below 1.0
+    means the slot is *already* unschedulable (should not happen for a
+    slot produced by the allocator).
+    """
+
+    def ok(factor: float) -> bool:
+        return is_slot_schedulable(scale_applications(slot, factor), method=method)
+
+    if not ok(1.0):
+        # Find how far the slot already is below feasibility.
+        lo_bad, hi_ok = 0.0, 1.0
+        while hi_ok - lo_bad > tolerance:
+            mid = 0.5 * (lo_bad + hi_ok)
+            if ok(mid):
+                hi_ok = mid
+            else:
+                lo_bad = mid
+        return hi_ok
+    if ok(hi):
+        return hi
+    lo_ok, hi_bad = 1.0, hi
+    while hi_bad - lo_ok > tolerance:
+        mid = 0.5 * (lo_ok + hi_bad)
+        if ok(mid):
+            lo_ok = mid
+        else:
+            hi_bad = mid
+    return lo_ok
+
+
+def dwell_margin(
+    slots: Sequence[Sequence[AnalyzedApplication]],
+    method: str = "closed-form",
+    hi: float = 16.0,
+) -> DwellMarginResult:
+    """Robustness margin of a whole allocation (minimum over slots)."""
+    slot_margins = [
+        slot_dwell_margin(slot, method=method, hi=hi) for slot in slots
+    ]
+    if not slot_margins:
+        raise ValueError("allocation has no slots")
+    return DwellMarginResult(margin=min(slot_margins), slot_margins=slot_margins)
+
+
+__all__ = [
+    "DwellMarginResult",
+    "dwell_margin",
+    "scale_applications",
+    "scale_dwell_model",
+    "slot_dwell_margin",
+]

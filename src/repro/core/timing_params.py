@@ -1,0 +1,134 @@
+"""Timing parameters of control applications (paper Table I).
+
+Each application ``Ci`` is characterised for schedulability analysis by
+seven numbers (all in seconds):
+
+* ``min_inter_arrival`` (``r_i``) — minimum time between disturbances;
+* ``deadline`` (``xi_d_i``) — required response time;
+* ``xi_tt`` — response time when only TT communication is used;
+* ``xi_et`` — response time when only ET communication is used;
+* ``xi_m`` — maximum dwell time under the non-monotonic PWL model;
+* ``k_p`` — wait time at which ``xi_m`` occurs;
+* ``xi_m_mono`` (``xi'M_i``) — maximum dwell time under the conservative
+  monotonic model.
+
+:data:`PAPER_TABLE_I` reproduces the paper's Table I verbatim; it is the
+input to the Section V case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Per-application timing parameters (all values in seconds)."""
+
+    name: str
+    min_inter_arrival: float
+    deadline: float
+    xi_tt: float
+    xi_et: float
+    xi_m: float
+    k_p: float
+    xi_m_mono: float
+
+    def __post_init__(self):
+        check_positive(self.min_inter_arrival, "min_inter_arrival")
+        check_positive(self.deadline, "deadline")
+        check_positive(self.xi_tt, "xi_tt")
+        check_positive(self.xi_et, "xi_et")
+        check_positive(self.xi_m, "xi_m")
+        check_positive(self.k_p, "k_p")
+        check_positive(self.xi_m_mono, "xi_m_mono")
+        if self.deadline > self.min_inter_arrival:
+            raise ValueError(
+                f"{self.name}: deadline ({self.deadline}) must not exceed the "
+                f"minimum inter-arrival time ({self.min_inter_arrival}) "
+                "(paper Sec. II-C)"
+            )
+        if self.xi_tt > self.xi_et:
+            raise ValueError(
+                f"{self.name}: xi_tt ({self.xi_tt}) must not exceed xi_et "
+                f"({self.xi_et}); TT communication is the higher-quality resource"
+            )
+        if self.xi_m < self.xi_tt:
+            raise ValueError(
+                f"{self.name}: xi_m ({self.xi_m}) must be >= xi_tt ({self.xi_tt}); "
+                "the maximum dwell time includes the zero-wait dwell"
+            )
+        if self.xi_m_mono < self.xi_m:
+            raise ValueError(
+                f"{self.name}: the conservative-monotonic maximum dwell xi_m_mono "
+                f"({self.xi_m_mono}) must dominate xi_m ({self.xi_m})"
+            )
+        if not self.k_p < self.xi_et:
+            raise ValueError(
+                f"{self.name}: k_p ({self.k_p}) must be smaller than xi_et "
+                f"({self.xi_et})"
+            )
+
+
+def _table_row(
+    name: str,
+    r: float,
+    deadline: float,
+    xi_tt: float,
+    xi_et: float,
+    xi_m: float,
+    k_p: float,
+    xi_m_mono: float,
+) -> TimingParameters:
+    return TimingParameters(
+        name=name,
+        min_inter_arrival=r,
+        deadline=deadline,
+        xi_tt=xi_tt,
+        xi_et=xi_et,
+        xi_m=xi_m,
+        k_p=k_p,
+        xi_m_mono=xi_m_mono,
+    )
+
+
+#: Paper Table I, verbatim (values in seconds).
+PAPER_TABLE_I: Tuple[TimingParameters, ...] = (
+    _table_row("C1", 200.0, 9.50, 1.68, 11.62, 5.30, 2.27, 6.59),
+    _table_row("C2", 20.0, 6.25, 2.58, 8.59, 2.95, 1.34, 3.50),
+    _table_row("C3", 15.0, 2.00, 0.39, 3.97, 0.64, 0.69, 0.77),
+    _table_row("C4", 200.0, 7.50, 2.50, 10.40, 4.03, 1.92, 4.94),
+    _table_row("C5", 20.0, 8.50, 2.75, 10.63, 4.58, 1.97, 5.62),
+    _table_row("C6", 6.0, 6.00, 0.71, 7.94, 0.92, 0.67, 1.01),
+)
+
+
+def paper_application(name: str) -> TimingParameters:
+    """Look up one of the paper's six case-study applications by name."""
+    by_name: Dict[str, TimingParameters] = {app.name: app for app in PAPER_TABLE_I}
+    try:
+        return by_name[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper application {name!r}; expected one of {sorted(by_name)}"
+        ) from None
+
+
+def priority_order(apps) -> list:
+    """Sort applications by decreasing priority (shortest deadline first).
+
+    The paper assigns TT-slot priorities by deadline (Sec. IV); ties are
+    broken by name for determinism.
+    """
+    return sorted(apps, key=lambda app: (app.deadline, app.name))
+
+
+__all__ = [
+    "PAPER_TABLE_I",
+    "TimingParameters",
+    "paper_application",
+    "priority_order",
+]

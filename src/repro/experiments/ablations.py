@@ -1,0 +1,390 @@
+"""Ablation experiments (E6-E8) for DESIGN.md's design decisions.
+
+* E6 — number of PWL segments: two-segment (paper) vs the concave
+  envelope (the "three or more" extension of Section III) vs the
+  monotonic line, measured by slot count and dwell-bound tightness;
+* E7 — closed-form wait bound (Eq. 20) vs exact fixed point (Eq. 5):
+  pessimism gap on randomised application sets;
+* E8 — steady-state threshold sweep on the servo testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import first_fit_allocation
+from repro.core.pwl import (
+    fit_concave_envelope,
+    fit_conservative_monotonic,
+    fit_two_segment,
+)
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    analyze_application,
+)
+from repro.core.timing_params import TimingParameters
+from repro.experiments.casestudy import CaseStudyApplication, simulation_applications
+from repro.experiments.reporting import format_table
+from repro.testbed.servo import ServoRigConfig, ServoTestbed, default_servo_testbed
+
+
+# ---------------------------------------------------------------------------
+# E6 — PWL segment count
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentAblationResult:
+    """Slot counts and dwell-bound tightness per model family."""
+
+    slot_counts: Dict[str, int]
+    mean_dwell_bounds: Dict[str, float]
+
+    def report(self) -> str:
+        rows = [
+            [label, self.slot_counts[label], self.mean_dwell_bounds[label]]
+            for label in self.slot_counts
+        ]
+        return "PWL segment ablation\n" + format_table(
+            ["model", "TT slots", "mean dwell bound [s]"], rows
+        )
+
+
+def run_segment_ablation(
+    applications: Optional[List[CaseStudyApplication]] = None,
+    wait_step: int = 2,
+) -> SegmentAblationResult:
+    """E6: richer PWL models never need more slots than coarser ones."""
+    if applications is None:
+        applications = simulation_applications(wait_step=wait_step)
+    fits = {
+        "conservative-monotonic": fit_conservative_monotonic,
+        "two-segment": fit_two_segment,
+        "concave-envelope": fit_concave_envelope,
+    }
+    slot_counts: Dict[str, int] = {}
+    mean_bounds: Dict[str, float] = {}
+    for label, fit in fits.items():
+        analyzed = []
+        bounds = []
+        for case_app in applications:
+            curve = case_app.characterization.curve
+            model = fit(curve)
+            analyzed.append(
+                AnalyzedApplication(params=case_app.params, dwell_model=model)
+            )
+            bounds.extend(model.dwell(w) for w in curve.waits)
+        slot_counts[label] = first_fit_allocation(analyzed).slot_count
+        mean_bounds[label] = float(np.mean(bounds))
+    return SegmentAblationResult(slot_counts=slot_counts, mean_dwell_bounds=mean_bounds)
+
+
+# ---------------------------------------------------------------------------
+# E7 — closed form vs fixed point
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedPointAblationResult:
+    """Pessimism of the closed-form bound over random app sets."""
+
+    samples: int
+    mean_gap: float
+    max_gap: float
+    disagreements: int  # schedulability verdicts that differ
+
+    def report(self) -> str:
+        return (
+            "Closed-form (Eq. 20) vs fixed point (Eq. 5)\n"
+            f"samples: {self.samples}, mean wait-bound gap: {self.mean_gap:.3f} s, "
+            f"max gap: {self.max_gap:.3f} s, verdict disagreements: {self.disagreements}"
+        )
+
+
+def _random_app(rng: np.random.Generator, index: int) -> AnalyzedApplication:
+    xi_tt = rng.uniform(0.3, 2.0)
+    xi_m = xi_tt * rng.uniform(1.0, 2.0)
+    xi_et = xi_m * rng.uniform(2.0, 4.0)
+    k_p = rng.uniform(0.2, 0.8) * xi_et
+    deadline = xi_et * rng.uniform(0.8, 1.5)
+    r = deadline * rng.uniform(1.5, 6.0)
+    params = TimingParameters(
+        name=f"R{index}",
+        min_inter_arrival=r,
+        deadline=deadline,
+        xi_tt=xi_tt,
+        xi_et=xi_et,
+        xi_m=xi_m,
+        k_p=k_p,
+        xi_m_mono=xi_m * rng.uniform(1.0, 1.5),
+    )
+    return AnalyzedApplication.from_params(params)
+
+
+def run_fixed_point_ablation(
+    samples: int = 50, apps_per_set: int = 4, seed: int = 0
+) -> FixedPointAblationResult:
+    """E7: the closed form is never less pessimistic than the fixed point."""
+    rng = np.random.default_rng(seed)
+    gaps = []
+    disagreements = 0
+    for __ in range(samples):
+        apps = [_random_app(rng, i) for i in range(apps_per_set)]
+        subject = apps[-1]
+        sharers = apps[:-1]
+        closed = analyze_application(subject, sharers, method="closed-form")
+        exact = analyze_application(subject, sharers, method="fixed-point")
+        if np.isfinite(closed.max_wait) and np.isfinite(exact.max_wait):
+            gap = closed.max_wait - exact.max_wait
+            if gap < -1e-9:
+                raise AssertionError(
+                    "closed-form wait bound fell below the exact fixed point"
+                )
+            gaps.append(gap)
+        if closed.schedulable != exact.schedulable:
+            disagreements += 1
+    return FixedPointAblationResult(
+        samples=samples,
+        mean_gap=float(np.mean(gaps)) if gaps else 0.0,
+        max_gap=float(np.max(gaps)) if gaps else 0.0,
+        disagreements=disagreements,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E8 — threshold sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThresholdSweepResult:
+    """xi_TT / xi_ET / peak dwell across steady-state thresholds."""
+
+    rows: List[Tuple[float, float, float, float]]  # (Eth, xi_tt, xi_et, peak dwell)
+
+    def report(self) -> str:
+        return "Threshold (Eth) sweep on the servo rig\n" + format_table(
+            ["Eth", "xi_TT [s]", "xi_ET [s]", "peak dwell [s]"],
+            [list(row) for row in self.rows],
+        )
+
+
+def run_threshold_sweep(
+    thresholds: Optional[List[float]] = None,
+    wait_step: int = 4,
+    max_samples: int = 500,
+) -> ThresholdSweepResult:
+    """E8: smaller thresholds stretch every response time."""
+    thresholds = thresholds or [0.05, 0.1, 0.2, 0.4]
+    rows = []
+    for eth in thresholds:
+        testbed = default_servo_testbed(ServoRigConfig(threshold=eth))
+        xi_tt = testbed.response_time(0, max_samples=max_samples)
+        xi_et = testbed.response_time(10**9, max_samples=max_samples)
+        peak = 0.0
+        last_wait = int(xi_et / testbed.config.period)
+        for wait in range(0, last_wait + 1, wait_step):
+            response = testbed.response_time(wait, max_samples=max_samples)
+            peak = max(peak, response - wait * testbed.config.period)
+        rows.append((eth, xi_tt, xi_et, peak))
+    return ThresholdSweepResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# E11 — delay equalisation (jitter buffering) on/off
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JitterAblationResult:
+    """Worst responses with and without actuation-delay equalisation.
+
+    ``*_episodes`` counts threshold-crossing episodes; values above the
+    number of injected disturbances indicate limit-cycle chattering
+    around the threshold caused by the loop/delay model mismatch.
+    """
+
+    equalized: Dict[str, float]
+    raw: Dict[str, float]
+    equalized_misses: int
+    raw_misses: int
+    equalized_episodes: Dict[str, int]
+    raw_episodes: Dict[str, int]
+
+    def report(self) -> str:
+        rows = [
+            [
+                name,
+                self.equalized[name],
+                self.raw.get(name, float("nan")),
+                self.equalized_episodes[name],
+                self.raw_episodes.get(name, 0),
+            ]
+            for name in sorted(self.equalized)
+        ]
+        return (
+            "Delay-equalisation ablation (FlexRay network, heavy background traffic)\n"
+            + format_table(
+                [
+                    "app",
+                    "equalized response [s]",
+                    "raw response [s]",
+                    "episodes (eq)",
+                    "episodes (raw)",
+                ],
+                rows,
+            )
+            + f"\ndeadline misses: equalized={self.equalized_misses}, raw={self.raw_misses}"
+        )
+
+
+def run_jitter_ablation(
+    applications: Optional[List[CaseStudyApplication]] = None,
+    wait_step: int = 4,
+    horizon: float = 20.0,
+) -> JitterAblationResult:
+    """E11: actuating at the design-time delay vs as-soon-as-delivered.
+
+    The controllers are designed for fixed worst-case delays; actuating
+    messages the moment the (usually faster) bus delivers them de-tunes
+    the loops.  Equalisation (jitter buffering) restores the design
+    model.  This quantifies the difference under heavy background load.
+    """
+    from repro.control.disturbance import OneShotDisturbance
+    from repro.core.allocation import first_fit_allocation
+    from repro.flexray.bus import FlexRayBus
+    from repro.flexray.frame import FrameSpec
+    from repro.flexray.params import paper_bus_config
+    from repro.sim.cosim import CoSimApplication, CoSimulator, FlexRayNetwork
+    from repro.sim.traffic import heavy_background_traffic
+
+    if applications is None:
+        applications = simulation_applications(wait_step=wait_step)
+    allocation = first_fit_allocation(
+        [app.analyzed("non-monotonic") for app in applications]
+    )
+    results: Dict[bool, Dict[str, float]] = {}
+    episodes: Dict[bool, Dict[str, int]] = {}
+    misses: Dict[bool, int] = {}
+    for equalize in (True, False):
+        cosim_apps = [
+            CoSimApplication(
+                app=case_app.app,
+                dynamics=case_app.plant.model,
+                disturbance_state=case_app.plant.disturbance,
+                disturbances=OneShotDisturbance(time=0.0),
+                deadline=case_app.params.deadline,
+                slot=allocation.slot_of(case_app.name),
+                frame=FrameSpec(frame_id=index + 1, sender=case_app.name),
+            )
+            for index, case_app in enumerate(applications)
+        ]
+        network = FlexRayNetwork(
+            bus=FlexRayBus(config=paper_bus_config()),
+            traffic=heavy_background_traffic(count=8, first_frame_id=100),
+        )
+        trace = CoSimulator(cosim_apps, network, equalize_delays=equalize).run(horizon)
+        results[equalize] = {}
+        episodes[equalize] = {}
+        misses[equalize] = 0
+        for case_app in applications:
+            app_trace = trace[case_app.name]
+            responses = app_trace.response_times
+            worst = max(responses) if responses else float("inf")
+            results[equalize][case_app.name] = worst
+            episodes[equalize][case_app.name] = len(app_trace.tt_intervals())
+            if not app_trace.deadline_met() or (
+                app_trace.settling_time() is None
+                and case_app.params.deadline < horizon
+            ):
+                misses[equalize] += 1
+    return JitterAblationResult(
+        equalized=results[True],
+        raw=results[False],
+        equalized_misses=misses[True],
+        raw_misses=misses[False],
+        equalized_episodes=episodes[True],
+        raw_episodes=episodes[False],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E12 — quadratic QoC cost vs wait time
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QocAblationResult:
+    """Quadratic cost of the switched response as the wait grows."""
+
+    rows: List[Tuple[str, float, float, float]]
+    # (app, cost at kwait=0, cost at kwait=max_wait, relative penalty)
+
+    def report(self) -> str:
+        return (
+            "Quadratic QoC cost vs wait time (switched response, Eqs. 3-4)\n"
+            + format_table(
+                ["app", "J(kwait=0)", "J(kwait=max)", "penalty [%]"],
+                [
+                    [name, j0, j1, 100.0 * penalty]
+                    for name, j0, j1, penalty in self.rows
+                ],
+            )
+        )
+
+
+def run_qoc_ablation(
+    applications: Optional[List[CaseStudyApplication]] = None,
+    wait_step: int = 4,
+) -> QocAblationResult:
+    """E12: waiting for the TT slot costs control quality, not just time.
+
+    For each case-study application the infinite-horizon quadratic cost
+    of the switched response is evaluated in closed form at zero wait and
+    at the analysis's maximum wait for its allocated slot.
+    """
+    from repro.control.cost import switched_cost
+    from repro.core.allocation import first_fit_allocation
+
+    if applications is None:
+        applications = simulation_applications(wait_step=wait_step)
+    allocation = first_fit_allocation(
+        [app.analyzed("non-monotonic") for app in applications]
+    )
+    rows = []
+    for case_app in applications:
+        app = case_app.app
+        z0 = app.initial_state(case_app.plant.disturbance)
+        period = app.period
+        max_wait = allocation.analyses[case_app.name].max_wait
+        wait_samples = int(np.ceil(max_wait / period))
+        # Weight the augmented state with the plant's own design weights:
+        # q on the physical states, r on the held input.  This makes the
+        # cost the LQR objective the controllers were tuned for (up to
+        # the one-step input shift), so units are commensurate.
+        n = case_app.plant.model.n_states
+        weight = np.zeros((z0.size, z0.size))
+        weight[:n, :n] = case_app.plant.q
+        weight[n:, n:] = case_app.plant.r
+        j0 = switched_cost(app.a1, app.a2, z0, 0, weight=weight)
+        j1 = switched_cost(app.a1, app.a2, z0, wait_samples, weight=weight)
+        penalty = (j1 - j0) / j0 if j0 > 0 else 0.0
+        rows.append((case_app.name, j0, j1, penalty))
+    return QocAblationResult(rows=rows)
+
+
+__all__ = [
+    "FixedPointAblationResult",
+    "JitterAblationResult",
+    "QocAblationResult",
+    "SegmentAblationResult",
+    "ThresholdSweepResult",
+    "run_fixed_point_ablation",
+    "run_jitter_ablation",
+    "run_qoc_ablation",
+    "run_segment_ablation",
+    "run_threshold_sweep",
+]

@@ -1,0 +1,111 @@
+"""Experiment E1 — Figure 3: measured dwell/wait relation on the servo rig.
+
+Sweeps the ET-to-TT switch instant on the (simulated) servo testbed and
+records the dwell time needed after each wait, reproducing the paper's
+experimental Figure 3.  The paper's measured anchors are
+``xi_TT = 0.68 s`` and ``xi_ET = 2.16 s`` with the dwell peak around
+``kwait = 0.3 s``; the reproduction target is the *shape* — dwell first
+grows with the wait time, then falls to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.characterization import (
+    CharacterizationResult,
+    characterize_response_source,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.testbed.servo import ServoTestbed, default_servo_testbed
+
+#: The paper's measured reference values (seconds).
+PAPER_XI_TT = 0.68
+PAPER_XI_ET = 2.16
+PAPER_PEAK_WAIT = 0.3
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Output of the Figure 3 experiment."""
+
+    characterization: CharacterizationResult
+    xi_tt: float
+    xi_et: float
+
+    @property
+    def curve(self):
+        return self.characterization.curve
+
+    def is_non_monotonic(self) -> bool:
+        """Whether an interior wait needs a longer dwell than zero wait
+        (the paper's headline observation)."""
+        return self.curve.dwells.max() > self.curve.xi_tt + 1e-9
+
+    def report(self) -> str:
+        curve = self.curve
+        k_p, xi_m = curve.peak
+        table = format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["xi_TT [s]", PAPER_XI_TT, self.xi_tt],
+                ["xi_ET [s]", PAPER_XI_ET, self.xi_et],
+                ["peak dwell wait k_p [s]", PAPER_PEAK_WAIT, k_p],
+                ["peak dwell xi_M [s]", "~0.95", xi_m],
+                ["non-monotonic?", "yes", self.is_non_monotonic()],
+            ],
+        )
+        plot = format_series(
+            curve.waits,
+            curve.dwells,
+            x_label="kwait [s]",
+            y_label="kdw [s]",
+        )
+        return f"Figure 3 — dwell vs wait (servo rig)\n{table}\n\n{plot}"
+
+
+def run_fig3(
+    testbed: Optional[ServoTestbed] = None,
+    wait_step: int = 2,
+    max_samples: int = 400,
+) -> Fig3Result:
+    """Run the Figure 3 sweep on the servo testbed.
+
+    Parameters
+    ----------
+    testbed:
+        Rig + controllers; defaults to the tuned paper-matching setup.
+    wait_step:
+        Sweep stride in samples (2 = every 40 ms).
+    max_samples:
+        Simulation horizon per run.
+    """
+    if testbed is None:
+        testbed = default_servo_testbed()
+    period = testbed.config.period
+    xi_tt = testbed.response_time(0, max_samples=max_samples)
+    xi_et = testbed.response_time(10**9, max_samples=max_samples)
+
+    def source(wait_samples: int) -> float:
+        return testbed.response_time(wait_samples, max_samples=max_samples)
+
+    characterization = characterize_response_source(
+        name="servo-rig",
+        response_source=source,
+        pure_et_response=xi_et,
+        period=period,
+        deadline=6.0,
+        min_inter_arrival=6.0,
+        wait_step=wait_step,
+    )
+    return Fig3Result(characterization=characterization, xi_tt=xi_tt, xi_et=xi_et)
+
+
+__all__ = [
+    "Fig3Result",
+    "PAPER_PEAK_WAIT",
+    "PAPER_XI_ET",
+    "PAPER_XI_TT",
+    "run_fig3",
+]

@@ -1,0 +1,66 @@
+"""ASCII reporting helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width ASCII table.
+
+    Numeric cells are formatted with three decimals; everything else via
+    ``str``.
+    """
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as an ASCII scatter plot."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0:
+        return "(empty series)"
+    x_span = max(float(xs.max() - xs.min()), 1e-12)
+    y_top = max(float(ys.max()), 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - xs.min()) / x_span * (width - 1))
+        row = height - 1 - int(min(y, y_top) / y_top * (height - 1))
+        grid[row][col] = "*"
+    header = f"{y_label} (max {y_top:.3g}) vs {x_label} [{xs.min():.3g}, {xs.max():.3g}]"
+    return "\n".join([header] + ["".join(row) for row in grid])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, np.floating):
+        return f"{float(value):.3f}"
+    return str(value)
+
+
+__all__ = ["format_series", "format_table"]

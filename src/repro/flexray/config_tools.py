@@ -1,0 +1,169 @@
+"""Turn an allocation into a concrete FlexRay bus configuration.
+
+The analysis produces an :class:`~repro.core.allocation.AllocationResult`
+— *which* applications share *how many* TT slots.  A bus integrator
+still needs the concrete artefacts: which static slot index each group
+uses, which frame IDs the applications transmit, and whether everything
+fits the chosen bus geometry.  This module generates and validates that
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.flexray.frame import FrameSpec
+from repro.flexray.params import FlexRayConfig
+from repro.flexray.timing import worst_case_et_delay
+
+
+class BusConfigurationError(ValueError):
+    """Raised when an allocation cannot be mapped onto the bus."""
+
+
+@dataclass(frozen=True)
+class ApplicationBusConfig:
+    """Bus-facing configuration of one application."""
+
+    name: str
+    frame: FrameSpec
+    slot: int
+    et_worst_delay: float
+
+
+@dataclass(frozen=True)
+class BusConfigurationPlan:
+    """Complete mapping of an allocation onto a FlexRay bus.
+
+    Attributes
+    ----------
+    bus:
+        The bus geometry the plan targets.
+    applications:
+        Per-application frame + slot assignments, in priority order.
+    reserved_slots:
+        The static-slot indices used by the shared TT slots.
+    """
+
+    bus: FlexRayConfig
+    applications: List[ApplicationBusConfig]
+    reserved_slots: List[int]
+
+    def frame_of(self, name: str) -> FrameSpec:
+        for app in self.applications:
+            if app.name == name:
+                return app.frame
+        raise KeyError(f"unknown application {name!r}")
+
+    def slot_of(self, name: str) -> int:
+        for app in self.applications:
+            if app.name == name:
+                return app.slot
+        raise KeyError(f"unknown application {name!r}")
+
+    def static_utilization(self) -> float:
+        """Fraction of the static segment the plan reserves."""
+        return len(self.reserved_slots) / self.bus.static_slots
+
+    def summary(self) -> str:
+        lines = [
+            f"FlexRay plan: {len(self.reserved_slots)}/{self.bus.static_slots} "
+            f"static slots reserved ({100 * self.static_utilization():.0f}%)"
+        ]
+        for app in self.applications:
+            lines.append(
+                f"  {app.name}: frame {app.frame.frame_id:3d}, shared TT slot "
+                f"{app.slot}, ET worst delay {1e3 * app.et_worst_delay:.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def plan_bus_configuration(
+    slot_groups: Sequence[Sequence[str]],
+    bus: FlexRayConfig,
+    payload_bits: int = 64,
+    first_slot: int = 0,
+    first_frame_id: int = 1,
+    max_et_delay: float = None,
+) -> BusConfigurationPlan:
+    """Map allocation slot groups onto concrete bus resources.
+
+    Parameters
+    ----------
+    slot_groups:
+        Application names per shared TT slot, highest-priority group
+        first (e.g. ``AllocationResult.slot_names``).
+    bus:
+        Target bus geometry.
+    payload_bits:
+        Control-message payload size (identical for all applications).
+    first_slot:
+        First static-slot index to reserve.
+    first_frame_id:
+        Frame IDs are assigned contiguously from here in priority order,
+        so earlier (more urgent) applications also win dynamic-segment
+        arbitration.
+    max_et_delay:
+        Optional cap on the worst-case ET delay of any application
+        (e.g. the sampling period the controllers were designed for).
+
+    Raises
+    ------
+    BusConfigurationError
+        If the groups need more static slots than the bus offers, or the
+        ET worst case exceeds ``max_et_delay``.
+    """
+    group_count = len(slot_groups)
+    if first_slot + group_count > bus.static_slots:
+        raise BusConfigurationError(
+            f"allocation needs {group_count} static slots starting at "
+            f"{first_slot} but the bus has only {bus.static_slots}"
+        )
+    names = [name for group in slot_groups for name in group]
+    if len(set(names)) != len(names):
+        raise BusConfigurationError(f"duplicate application names in {names}")
+
+    frames: Dict[str, FrameSpec] = {}
+    slots: Dict[str, int] = {}
+    frame_id = first_frame_id
+    for group_index, group in enumerate(slot_groups):
+        for name in group:
+            frames[name] = FrameSpec(
+                frame_id=frame_id, payload_bits=payload_bits, sender=name
+            )
+            slots[name] = first_slot + group_index
+            frame_id += 1
+
+    all_frames = list(frames.values())
+    applications = []
+    for name in names:
+        bound = worst_case_et_delay(
+            frames[name], [f for f in all_frames if f is not frames[name]], bus
+        )
+        if max_et_delay is not None and bound.worst_latency > max_et_delay:
+            raise BusConfigurationError(
+                f"{name}: worst-case ET delay {bound.worst_latency * 1e3:.2f} ms "
+                f"exceeds the design assumption {max_et_delay * 1e3:.2f} ms"
+            )
+        applications.append(
+            ApplicationBusConfig(
+                name=name,
+                frame=frames[name],
+                slot=slots[name],
+                et_worst_delay=bound.worst_latency,
+            )
+        )
+    return BusConfigurationPlan(
+        bus=bus,
+        applications=applications,
+        reserved_slots=list(range(first_slot, first_slot + group_count)),
+    )
+
+
+__all__ = [
+    "ApplicationBusConfig",
+    "BusConfigurationError",
+    "BusConfigurationPlan",
+    "plan_bus_configuration",
+]

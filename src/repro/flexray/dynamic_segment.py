@@ -1,0 +1,99 @@
+"""Dynamic (ET) segment: minislot counting and frame-ID arbitration.
+
+FlexRay's dynamic segment works as follows (paper Section II-A, after
+Pop et al.): a slot counter starts at 1 and all nodes count minislots in
+lockstep.  When the counter matches a frame ID whose sender has data
+pending, that frame is transmitted and occupies as many minislots as its
+length requires; otherwise exactly one (empty) minislot of length
+``psi`` elapses.  A frame may only start if it can finish within the
+remaining dynamic segment (the ``pLatestTx`` rule); otherwise its sender
+must wait for the next cycle.  Lower frame IDs therefore have higher
+priority, and the latency of a message depends on the backlog of
+lower-ID messages — the non-determinism that makes ET communication the
+lower-quality resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flexray.frame import FrameSpec, Message
+from repro.flexray.params import FlexRayConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class DynamicSegment:
+    """Arbitration state for the dynamic segment of one bus.
+
+    Attributes
+    ----------
+    config:
+        Bus geometry.
+    bit_time:
+        Wire duration of one payload bit (determines minislots per frame).
+    """
+
+    config: FlexRayConfig
+    bit_time: float = 1e-7  # 10 Mbit/s
+    _queues: Dict[int, List[Message]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        check_positive(self.bit_time, "bit_time")
+
+    def enqueue(self, message: Message) -> None:
+        """Queue a message for ET transmission (FIFO per frame ID)."""
+        self._queues.setdefault(message.spec.frame_id, []).append(message)
+
+    def pending(self, frame_id: Optional[int] = None) -> int:
+        """Number of queued messages (for one frame ID or in total)."""
+        if frame_id is not None:
+            return len(self._queues.get(frame_id, []))
+        return sum(len(queue) for queue in self._queues.values())
+
+    def run_cycle(self, cycle: int) -> List[Message]:
+        """Arbitrate one dynamic segment; returns delivered messages.
+
+        Only messages released before the dynamic-segment start take part
+        (payloads produced mid-segment wait for the next cycle, matching
+        the lockstep slot-counter semantics).
+        """
+        cfg = self.config
+        segment_start = cfg.dynamic_segment_start(cycle)
+        total_minislots = cfg.minislots
+        delivered: List[Message] = []
+        minislot = 0  # minislots consumed so far this segment
+        counter = 1  # frame-ID slot counter
+        max_id = max(self._queues.keys(), default=0)
+        while minislot < total_minislots and counter <= max_id:
+            message = self._eligible_head(counter, segment_start)
+            if message is None:
+                minislot += 1
+                counter += 1
+                continue
+            needed = message.spec.minislots_needed(cfg.minislot_length, self.bit_time)
+            if minislot + needed > total_minislots:
+                # pLatestTx: cannot finish this cycle; hold the message
+                # (and everything behind it in this queue) for the next.
+                minislot += 1
+                counter += 1
+                continue
+            minislot += needed
+            counter += 1
+            message.delivery_time = segment_start + minislot * cfg.minislot_length
+            self._queues[message.spec.frame_id].pop(0)
+            delivered.append(message)
+        return delivered
+
+    def _eligible_head(self, frame_id: int, segment_start: float) -> Optional[Message]:
+        queue = self._queues.get(frame_id)
+        if not queue:
+            return None
+        head = queue[0]
+        if head.release_time > segment_start + 1e-12:
+            return None
+        return head
+
+
+__all__ = ["DynamicSegment"]

@@ -1,0 +1,216 @@
+"""Static (TT) segment: TDMA slot schedule and transmission timing.
+
+A message assigned to a static slot is transmitted inside that slot's
+fixed window, so its delivery time is known exactly in advance — this
+determinism is what makes TT slots the valuable resource the paper
+economises.  If the payload misses the slot start, the whole slot of
+length ``Psi`` goes unused and the message waits for the slot's next
+occurrence (paper Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.flexray.frame import FrameSpec, Message
+from repro.flexray.params import FlexRayConfig
+
+
+class SlotAssignmentError(ValueError):
+    """Raised on conflicting or invalid static-slot assignments."""
+
+
+@dataclass(frozen=True)
+class CycleFilter:
+    """FlexRay cycle multiplexing: a slot owned only on matching cycles.
+
+    A frame with filter ``(base, repetition)`` owns its slot in every
+    cycle ``c`` with ``c % repetition == base``.  ``repetition`` must be
+    a power of two up to 64 (the FlexRay cycle counter is 6 bits); the
+    default ``(0, 1)`` means every cycle.
+    """
+
+    base: int = 0
+    repetition: int = 1
+
+    def __post_init__(self):
+        if self.repetition not in (1, 2, 4, 8, 16, 32, 64):
+            raise ValueError(
+                f"repetition must be a power of two <= 64, got {self.repetition}"
+            )
+        if not 0 <= self.base < self.repetition:
+            raise ValueError(
+                f"base must lie in [0, {self.repetition}), got {self.base}"
+            )
+
+    def matches(self, cycle: int) -> bool:
+        return cycle % self.repetition == self.base
+
+    def overlaps(self, other: "CycleFilter") -> bool:
+        """Whether two filters ever claim the same cycle."""
+        step = min(self.repetition, other.repetition)
+        return self.base % step == other.base % step
+
+
+@dataclass
+class StaticSchedule:
+    """Assignment of frame streams to static slots.
+
+    A slot may be owned outright (the default every-cycle filter) or
+    cycle-multiplexed between several streams with disjoint
+    :class:`CycleFilter` patterns (FlexRay slot multiplexing).  Ownership
+    can also be transferred between cycles at runtime — that is exactly
+    the paper's dynamic resource allocation (applications acquire and
+    release a shared TT slot via the arbiter in :mod:`repro.sim.arbiter`).
+    """
+
+    config: FlexRayConfig
+    _owners: Dict[int, list] = field(default_factory=dict)
+    # slot -> list of (CycleFilter, FrameSpec)
+
+    def assign(
+        self, slot: int, spec: FrameSpec, cycle_filter: CycleFilter = CycleFilter()
+    ) -> None:
+        """Give ``spec`` ownership of ``slot`` on the filter's cycles.
+
+        Raises
+        ------
+        SlotAssignmentError
+            If the slot index is out of range or another stream already
+            claims an overlapping cycle pattern.
+        """
+        self._check_slot(slot)
+        entries = self._owners.setdefault(slot, [])
+        for existing_filter, existing_spec in entries:
+            if existing_spec.frame_id == spec.frame_id:
+                continue
+            if existing_filter.overlaps(cycle_filter):
+                raise SlotAssignmentError(
+                    f"slot {slot} is already owned by frame "
+                    f"{existing_spec.frame_id} on overlapping cycles"
+                )
+        entries[:] = [
+            (f, s) for f, s in entries if s.frame_id != spec.frame_id
+        ]
+        entries.append((cycle_filter, spec))
+
+    def release(self, slot: int, frame_id: Optional[int] = None) -> None:
+        """Return ``slot`` to the free pool.
+
+        With ``frame_id`` given only that stream's assignment is removed;
+        otherwise the slot is fully cleared.  No-op if already free.
+        """
+        self._check_slot(slot)
+        if frame_id is None:
+            self._owners.pop(slot, None)
+            return
+        entries = self._owners.get(slot)
+        if entries is not None:
+            entries[:] = [(f, s) for f, s in entries if s.frame_id != frame_id]
+
+    def owner(self, slot: int, cycle: Optional[int] = None) -> Optional[FrameSpec]:
+        """Stream owning ``slot`` (in ``cycle``, when given).
+
+        With ``cycle=None`` the first assignment is returned regardless
+        of its filter — convenient for singly-owned slots.
+        """
+        self._check_slot(slot)
+        entries = self._owners.get(slot, [])
+        if cycle is None:
+            return entries[0][1] if entries else None
+        for cycle_filter, spec in entries:
+            if cycle_filter.matches(cycle):
+                return spec
+        return None
+
+    def slot_of(self, frame_id: int) -> Optional[int]:
+        """Slot currently owned by ``frame_id`` (None if it owns none)."""
+        for slot, entries in self._owners.items():
+            if any(spec.frame_id == frame_id for _, spec in entries):
+                return slot
+        return None
+
+    def cycle_filter_of(self, frame_id: int) -> Optional[CycleFilter]:
+        """Cycle filter under which ``frame_id`` owns its slot."""
+        for entries in self._owners.values():
+            for cycle_filter, spec in entries:
+                if spec.frame_id == frame_id:
+                    return cycle_filter
+        return None
+
+    def free_slots(self):
+        """Sorted list of slot indices with no assignment at all."""
+        return [
+            slot
+            for slot in range(self.config.static_slots)
+            if not self._owners.get(slot)
+        ]
+
+    def transmit(self, message: Message, slot: int, cycle: int) -> float:
+        """Deliver ``message`` in ``slot`` of ``cycle`` and return the time.
+
+        The message must belong to the slot owner *in this cycle* and
+        must have been released by the slot start; otherwise the slot
+        goes unused this cycle and :class:`SlotAssignmentError` /
+        :class:`ValueError` explains why.
+        """
+        owner = self.owner(slot, cycle)
+        if owner is None or owner.frame_id != message.spec.frame_id:
+            raise SlotAssignmentError(
+                f"frame {message.spec.frame_id} does not own slot {slot} "
+                f"in cycle {cycle}"
+            )
+        start, end = self.config.static_slot_window(cycle, slot)
+        if message.release_time > start + 1e-12:
+            raise ValueError(
+                f"message released at {message.release_time:.6f}s missed the "
+                f"slot start {start:.6f}s; the slot goes unused this cycle"
+            )
+        message.delivery_time = end
+        return end
+
+    def next_transmission_time(
+        self, slot: int, release_time: float, frame_id: Optional[int] = None
+    ) -> float:
+        """Earliest delivery time for a payload released at ``release_time``.
+
+        This is the deterministic TT latency: wait for the next matching
+        occurrence of the slot whose start is at or after the release,
+        then one slot length of wire time.  For cycle-multiplexed frames
+        pass ``frame_id`` so the filter is honoured.
+        """
+        self._check_slot(slot)
+        cfg = self.config
+        cycle_filter = (
+            self.cycle_filter_of(frame_id) if frame_id is not None else None
+        ) or CycleFilter()
+        cycle = cfg.cycle_of(release_time) if release_time > 0 else 0
+        for candidate in range(cycle, cycle + cycle_filter.repetition + 1):
+            if not cycle_filter.matches(candidate):
+                continue
+            start, end = cfg.static_slot_window(candidate, slot)
+            if start >= release_time - 1e-12:
+                return end
+        raise AssertionError("unreachable: the filter matches within its period")
+
+    def worst_case_latency(self, slot: int, frame_id: Optional[int] = None) -> float:
+        """Maximum TT latency: just missed the slot, wait a full filter
+        period (one cycle for unfiltered assignments)."""
+        self._check_slot(slot)
+        cycle_filter = (
+            self.cycle_filter_of(frame_id) if frame_id is not None else None
+        ) or CycleFilter()
+        return (
+            cycle_filter.repetition * self.config.cycle_length
+            + self.config.static_slot_length
+        )
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.config.static_slots:
+            raise SlotAssignmentError(
+                f"slot must lie in [0, {self.config.static_slots}), got {slot}"
+            )
+
+
+__all__ = ["CycleFilter", "SlotAssignmentError", "StaticSchedule"]

@@ -1,0 +1,44 @@
+"""Co-simulation substrate (TrueTime substitute).
+
+Discrete-event kernel, periodic task/ECU model, non-preemptive TT-slot
+arbiter, the Figure 1 threshold-switching runtime, the multi-application
+co-simulator, and trace recording for Figure 5.
+"""
+
+from repro.sim.arbiter import SlotClient, SlotState, TTSlotArbiter
+from repro.sim.cosim import (
+    AnalyticNetwork,
+    CoSimApplication,
+    CoSimulator,
+    FlexRayNetwork,
+    Submission,
+)
+from repro.sim.events import EventQueue
+from repro.sim.runtime import CommState, DisturbanceRecord, SwitchingRuntime
+from repro.sim.tasks import ApplicationTasks, Ecu, PeriodicTask, simple_application_tasks
+from repro.sim.trace import AppTrace, SimulationTrace
+from repro.sim.traffic import BackgroundTraffic, TrafficStream, heavy_background_traffic
+
+__all__ = [
+    "AnalyticNetwork",
+    "AppTrace",
+    "ApplicationTasks",
+    "BackgroundTraffic",
+    "TrafficStream",
+    "heavy_background_traffic",
+    "CoSimApplication",
+    "CoSimulator",
+    "CommState",
+    "DisturbanceRecord",
+    "Ecu",
+    "EventQueue",
+    "FlexRayNetwork",
+    "PeriodicTask",
+    "SimulationTrace",
+    "SlotClient",
+    "SlotState",
+    "Submission",
+    "SwitchingRuntime",
+    "TTSlotArbiter",
+    "simple_application_tasks",
+]

@@ -1,0 +1,401 @@
+"""Multi-application closed-loop co-simulation (TrueTime substitute).
+
+Simulates several control applications sharing a FlexRay bus under the
+paper's dynamic resource allocation: plants evolve in discrete time with
+the sensor-to-actuator delay *actually experienced* on the bus each
+sample, the threshold-switching runtimes request/release shared TT slots
+through the non-preemptive deadline-priority arbiter, and everything is
+recorded in :class:`~repro.sim.trace.SimulationTrace` (the data behind
+the paper's Figure 5).
+
+Two network models are provided:
+
+* :class:`AnalyticNetwork` — constant mode delays (TT: the configured
+  slot latency; ET: the worst-case bound).  Deterministic; this is the
+  model under which the controllers were designed.
+* :class:`FlexRayNetwork` — a cycle-accurate
+  :class:`~repro.flexray.bus.FlexRayBus`; ET delays vary with dynamic-
+  segment contention and TT delays follow the owned slot's window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.control.controller import SwitchedApplication
+from repro.control.discretization import zoh_integrals
+from repro.control.disturbance import DisturbanceProcess
+from repro.control.lti import ContinuousStateSpace
+from repro.flexray.bus import FlexRayBus
+from repro.flexray.frame import FrameSpec, Message
+from repro.sim.arbiter import TTSlotArbiter
+from repro.sim.traffic import BackgroundTraffic
+from repro.sim.runtime import CommState, SwitchingRuntime
+from repro.sim.trace import AppTrace, SimulationTrace
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One control message ready for the bus at a sampling instant."""
+
+    name: str
+    spec: FrameSpec
+    uses_tt: bool
+    slot: Optional[int]
+    release_time: float
+
+
+class NetworkModel(Protocol):
+    """Delay provider for one sampling interval."""
+
+    def sample_delays(
+        self, time: float, period: float, submissions: Sequence[Submission]
+    ) -> Dict[str, float]:
+        """Sensor-to-actuator delay for each submission, keyed by name."""
+        ...  # pragma: no cover
+
+    def on_slot_change(
+        self, slot: int, spec: Optional[FrameSpec]
+    ) -> None:  # pragma: no cover
+        """Told whenever TT-slot ownership changes (spec None = released)."""
+        ...
+
+
+@dataclass
+class AnalyticNetwork:
+    """Constant worst-case delays (the design-time model)."""
+
+    tt_delay: float = 0.0007
+    et_delay: float = 0.020
+
+    def sample_delays(self, time, period, submissions):
+        delays = {}
+        for sub in submissions:
+            delays[sub.name] = min(self.tt_delay if sub.uses_tt else self.et_delay, period)
+        return delays
+
+    def on_slot_change(self, slot, spec):
+        pass  # ownership is irrelevant for constant delays
+
+
+@dataclass
+class FlexRayNetwork:
+    """Delays from a cycle-accurate FlexRay bus simulation.
+
+    Messages that fail to arrive within one sampling period are clamped
+    to ``period`` (the actuator holds the previous input for the whole
+    interval) and counted in :attr:`clamped`.  Optional background
+    traffic (see :mod:`repro.sim.traffic`) contends for the dynamic
+    segment alongside the control messages.
+    """
+
+    bus: FlexRayBus
+    traffic: Optional["BackgroundTraffic"] = None
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    clamped: int = 0
+    lost: int = 0
+    _inflight: Dict[int, str] = field(default_factory=dict)
+    _rng: Optional[np.random.Generator] = field(init=False, default=None)
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must lie in [0, 1), got {self.loss_rate}")
+        if self.loss_rate > 0.0:
+            self._rng = np.random.default_rng(self.loss_seed)
+
+    def sample_delays(self, time, period, submissions):
+        if self.traffic is not None:
+            for message in self.traffic.messages_between(time, time + period):
+                self.bus.submit_et(message)
+        for sub in submissions:
+            message = Message(spec=sub.spec, release_time=sub.release_time)
+            self._inflight[message.sequence] = sub.name
+            if sub.uses_tt:
+                self.bus.submit_tt(message)
+            else:
+                self.bus.submit_et(message)
+        delivered = self.bus.advance_to(time + period)
+        delays: Dict[str, float] = {}
+        for message in delivered:
+            name = self._inflight.pop(message.sequence, None)
+            if name is None:
+                continue  # stale message from an earlier interval
+            if self._rng is not None and self._rng.random() < self.loss_rate:
+                # Failure injection: the frame was corrupted on the wire.
+                # Report an infinite delay; the co-simulator holds the
+                # previous input for the whole period and never latches
+                # the lost command.
+                self.lost += 1
+                delays[name] = float("inf")
+                continue
+            if message.release_time >= time - 1e-12:
+                delays[name] = min(message.delivery_time - time, period)
+        for sub in submissions:
+            if sub.name not in delays:
+                delays[sub.name] = period
+                self.clamped += 1
+        return delays
+
+    def on_slot_change(self, slot, spec):
+        if spec is None:
+            self.bus.release_slot(slot)
+        else:
+            self.bus.release_slot(slot)
+            self.bus.grant_slot(slot, spec)
+
+
+@dataclass(frozen=True)
+class CoSimApplication:
+    """Everything the co-simulator needs to run one application.
+
+    Attributes
+    ----------
+    app:
+        Designed switched application (both mode controllers).
+    dynamics:
+        Continuous plant dynamics (for per-delay discretisation).
+    disturbance_state:
+        Plant-state jump applied when a disturbance arrives.
+    disturbances:
+        Arrival process of disturbances.
+    deadline:
+        Response-time requirement.
+    slot:
+        Index of the TT slot this application contends for.
+    frame:
+        Bus frame of this application's control messages.
+    """
+
+    app: SwitchedApplication
+    dynamics: ContinuousStateSpace
+    disturbance_state: np.ndarray
+    disturbances: DisturbanceProcess
+    deadline: float
+    slot: int
+    frame: FrameSpec
+
+    @property
+    def name(self) -> str:
+        return self.app.name
+
+
+class _DelayedStepper:
+    """Caches exact discretisations ``(Phi, Gamma0(d), Gamma1(d))``."""
+
+    def __init__(self, dynamics: ContinuousStateSpace, period: float):
+        self._dynamics = dynamics
+        self._period = period
+        self._phi, self._gamma_full = zoh_integrals(dynamics.a, dynamics.b, period)
+        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def step(self, x: np.ndarray, u: np.ndarray, u_prev: np.ndarray, delay: float) -> np.ndarray:
+        gamma0, gamma1 = self._gammas(delay)
+        return self._phi @ x + gamma0 @ u + gamma1 @ u_prev
+
+    def _gammas(self, delay: float) -> Tuple[np.ndarray, np.ndarray]:
+        key = int(round(delay * 1e7))  # 0.1 us grid
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        delay = min(max(delay, 0.0), self._period)
+        if delay <= 0.0:
+            pair = (self._gamma_full, np.zeros_like(self._gamma_full))
+        elif delay >= self._period:
+            pair = (np.zeros_like(self._gamma_full), self._gamma_full)
+        else:
+            exp_trail, gamma0 = zoh_integrals(
+                self._dynamics.a, self._dynamics.b, self._period - delay
+            )
+            _, gamma_lead = zoh_integrals(self._dynamics.a, self._dynamics.b, delay)
+            pair = (gamma0, exp_trail @ gamma_lead)
+        self._cache[key] = pair
+        return pair
+
+
+class CoSimulator:
+    """Fixed-step co-simulation of applications sharing TT slots.
+
+    All applications must share the same sampling period (the paper's
+    case study uses ``h = 20 ms`` throughout); disturbances are applied
+    at the first sampling instant at or after their arrival time.
+    """
+
+    def __init__(
+        self,
+        applications: Sequence[CoSimApplication],
+        network: NetworkModel,
+        period: Optional[float] = None,
+        equalize_delays: bool = True,
+        tt_allowed: bool = True,
+    ):
+        if not applications:
+            raise ValueError("need at least one application")
+        names = [a.name for a in applications]
+        if len(set(names)) != len(names):
+            raise ValueError(f"application names must be unique, got {names}")
+        periods = {round(a.app.period, 12) for a in applications}
+        if len(periods) != 1:
+            raise ValueError(
+                f"all applications must share one sampling period, got {periods}"
+            )
+        self.period = period if period is not None else applications[0].app.period
+        check_positive(self.period, "period")
+        self.applications = list(applications)
+        self.network = network
+        self.equalize_delays = equalize_delays
+        self.jitter_violations = 0
+        self.arbiter = TTSlotArbiter()
+        self.runtimes: Dict[str, SwitchingRuntime] = {}
+        for app in self.applications:
+            runtime = SwitchingRuntime(
+                name=app.name,
+                threshold=app.app.threshold,
+                arbiter=self.arbiter,
+                deadline=app.deadline,
+                tt_allowed=tt_allowed,
+            )
+            self.arbiter.register(runtime.client(), app.slot)
+            self.runtimes[app.name] = runtime
+
+    def run(self, horizon: float) -> SimulationTrace:
+        """Simulate up to ``horizon`` seconds and return the trace."""
+        check_positive(horizon, "horizon")
+        steps = int(np.ceil(horizon / self.period))
+        steppers = {
+            a.name: _DelayedStepper(a.dynamics, self.period) for a in self.applications
+        }
+        states = {
+            a.name: np.zeros(a.dynamics.n_states) for a in self.applications
+        }
+        held_inputs = {
+            a.name: np.zeros(a.app.et.plant.n_inputs) for a in self.applications
+        }
+        pending_events = {
+            a.name: list(a.disturbances.events_until(horizon))
+            for a in self.applications
+        }
+        traces = SimulationTrace(horizon=horizon)
+        for app in self.applications:
+            traces.add(
+                AppTrace(
+                    name=app.name,
+                    threshold=app.app.threshold,
+                    deadline=app.deadline,
+                )
+            )
+        slot_owner: Dict[int, Optional[str]] = {a.slot: None for a in self.applications}
+
+        for k in range(steps):
+            time = k * self.period
+            # 1. Apply disturbances due at this instant.
+            for app in self.applications:
+                events = pending_events[app.name]
+                while events and events[0].time <= time + 1e-12:
+                    event = events.pop(0)
+                    states[app.name] = (
+                        states[app.name] + event.magnitude * app.disturbance_state
+                    )
+                    self.runtimes[app.name].on_disturbance(time)
+            # 2. Grant freed slots, then advance every state machine.
+            self.arbiter.grant_pending()
+            comm_states: Dict[str, CommState] = {}
+            for app in self.applications:
+                norm = float(np.linalg.norm(states[app.name]))
+                comm_states[app.name] = self.runtimes[app.name].update(time, norm)
+            # A release in update() may leave a slot claimable this sample.
+            granted = self.arbiter.grant_pending()
+            for name in granted:
+                runtime = self.runtimes[name]
+                if runtime.state is CommState.WAITING:
+                    comm_states[name] = runtime.update(
+                        time, float(np.linalg.norm(states[name]))
+                    )
+            # 3. Propagate slot-ownership changes to the network.
+            for app in self.applications:
+                holder = self.arbiter.holder_of_slot(app.slot)
+                if slot_owner[app.slot] != holder:
+                    spec = None
+                    if holder is not None:
+                        spec = next(
+                            a.frame for a in self.applications if a.name == holder
+                        )
+                    self.network.on_slot_change(app.slot, spec)
+                    slot_owner[app.slot] = holder
+            # 4. Compute control inputs and submit messages.
+            submissions: List[Submission] = []
+            inputs: Dict[str, np.ndarray] = {}
+            for app in self.applications:
+                uses_tt = comm_states[app.name] is CommState.TT_HOLDING
+                controller = app.app.tt if uses_tt else app.app.et
+                u = controller.control(states[app.name], held_inputs[app.name])
+                inputs[app.name] = u
+                submissions.append(
+                    Submission(
+                        name=app.name,
+                        spec=app.frame,
+                        uses_tt=uses_tt,
+                        slot=app.slot if uses_tt else None,
+                        release_time=time,
+                    )
+                )
+            delays = self.network.sample_delays(time, self.period, submissions)
+            if self.equalize_delays:
+                # Buffer actuation until the design-time offset of the
+                # active mode: the controllers were designed for a fixed
+                # sensor-to-actuator delay, and actuating early (the bus
+                # is usually faster than the worst case) de-tunes the
+                # loop.  This jitter-buffering is standard practice in
+                # networked control; messages slower than the design
+                # offset keep their true delay and are counted as jitter
+                # violations.
+                for app in self.applications:
+                    if not np.isfinite(delays[app.name]):
+                        continue  # lost frame: nothing to equalize
+                    uses_tt = comm_states[app.name] is CommState.TT_HOLDING
+                    design = (app.app.tt if uses_tt else app.app.et).plant.delay
+                    if delays[app.name] <= design + 1e-12:
+                        delays[app.name] = design
+                    else:
+                        self.jitter_violations += 1
+            # 5. Step plants with the experienced delays; record traces.
+            for app in self.applications:
+                name = app.name
+                delay = delays[name]
+                lost = not np.isfinite(delay)
+                if lost:
+                    # The command never reached the actuator: the previous
+                    # input holds for the whole period and stays latched.
+                    delay = self.period
+                norm = float(np.linalg.norm(states[name]))
+                traces[name].append(time, norm, comm_states[name], delay)
+                states[name] = steppers[name].step(
+                    states[name], inputs[name], held_inputs[name], delay
+                )
+                if not lost:
+                    held_inputs[name] = np.asarray(inputs[name], dtype=float)
+        # Final norm sample at the horizon for settling checks.
+        for app in self.applications:
+            name = app.name
+            traces[name].append(
+                steps * self.period,
+                float(np.linalg.norm(states[name])),
+                self.runtimes[name].state,
+                0.0,
+            )
+            traces[name].response_times = self.runtimes[name].response_times()
+        return traces
+
+
+__all__ = [
+    "AnalyticNetwork",
+    "CoSimApplication",
+    "CoSimulator",
+    "FlexRayNetwork",
+    "NetworkModel",
+    "Submission",
+]

@@ -1,0 +1,90 @@
+"""Minimal deterministic discrete-event kernel.
+
+The co-simulator schedules sampling instants, disturbance arrivals and
+bus-cycle boundaries on this queue.  Events at equal times fire in
+insertion order (a monotonically increasing sequence number breaks
+ties), which keeps multi-application runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    order: int
+    callback: Callable[[float], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Priority queue of timed callbacks."""
+
+    def __init__(self):
+        self._heap: List[_Entry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently fired event (0 before any fire)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[float], None]) -> _Entry:
+        """Schedule ``callback(time)`` and return a cancellable handle.
+
+        Raises
+        ------
+        ValueError
+            If the event lies in the past.
+        """
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event at {time}; current time is {self._now}"
+            )
+        entry = _Entry(time=time, order=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        entry.cancelled = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        self._now = entry.time
+        entry.callback(entry.time)
+        return True
+
+    def run_until(self, horizon: float) -> None:
+        """Fire all events with time <= ``horizon`` (inclusive)."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > horizon + 1e-12:
+                break
+            self.step()
+        self._now = max(self._now, horizon)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+
+__all__ = ["EventQueue"]

@@ -1,0 +1,166 @@
+"""Task and ECU model (paper Section II).
+
+Each control application consists of three tasks: sensing ``Ts`` and
+control ``Tc`` on one ECU, actuation ``Ta`` on another; the control
+input travels between them over the bus.  For the timing granularity of
+this reproduction the relevant quantity is the *computation latency*
+between a sampling instant and the moment the control message is
+released to the bus; the ECU model computes it under non-preemptive
+fixed-priority scheduling of the periodic task set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic task on an ECU.
+
+    Attributes
+    ----------
+    name:
+        Task identifier (e.g. ``"Ts,3"``).
+    period:
+        Activation period (seconds).
+    wcet:
+        Worst-case execution time (seconds).
+    priority:
+        Smaller number = higher priority.
+    offset:
+        Release offset of the first job (seconds).
+    """
+
+    name: str
+    period: float
+    wcet: float
+    priority: int = 0
+    offset: float = 0.0
+
+    def __post_init__(self):
+        check_positive(self.period, "period")
+        check_positive(self.wcet, "wcet")
+        check_nonnegative(self.offset, "offset")
+        if self.wcet > self.period:
+            raise ValueError(
+                f"task {self.name}: wcet ({self.wcet}) must not exceed the "
+                f"period ({self.period})"
+            )
+
+
+@dataclass
+class Ecu:
+    """An ECU running a fixed set of periodic tasks.
+
+    The analysis here is the classical non-preemptive fixed-priority
+    response-time bound: blocking by the longest lower-priority WCET plus
+    interference from higher-priority jobs.
+    """
+
+    name: str
+    tasks: List[PeriodicTask] = field(default_factory=list)
+
+    def add_task(self, task: PeriodicTask) -> None:
+        if any(existing.name == task.name for existing in self.tasks):
+            raise ValueError(f"duplicate task name {task.name!r} on ECU {self.name}")
+        self.tasks.append(task)
+
+    def utilization(self) -> float:
+        return sum(task.wcet / task.period for task in self.tasks)
+
+    def response_time_bound(self, task: PeriodicTask, max_iterations: int = 10_000) -> float:
+        """Worst-case response time of ``task`` on this ECU.
+
+        Uses the standard recurrence for non-preemptive fixed-priority
+        scheduling; raises :class:`ValueError` if the task set is
+        overloaded (no fixed point below the period).
+        """
+        if task not in self.tasks:
+            raise ValueError(f"task {task.name} is not assigned to ECU {self.name}")
+        higher = [t for t in self.tasks if t.priority < task.priority]
+        lower = [t for t in self.tasks if t.priority > task.priority]
+        blocking = max((t.wcet for t in lower), default=0.0)
+        response = blocking + task.wcet
+        for _ in range(max_iterations):
+            interference = sum(
+                _ceil_div(response, t.period) * t.wcet for t in higher
+            )
+            next_response = blocking + task.wcet + interference
+            if abs(next_response - response) <= 1e-15:
+                break
+            response = next_response
+            if response > task.period:
+                raise ValueError(
+                    f"task {task.name} on ECU {self.name} misses its period "
+                    f"(response bound {response:.6f}s > period {task.period}s)"
+                )
+        return response
+
+
+def _ceil_div(x: float, y: float) -> int:
+    from math import ceil
+
+    return int(ceil(x / y - 1e-12))
+
+
+@dataclass(frozen=True)
+class ApplicationTasks:
+    """The three-task chain of one control application.
+
+    Provides the release latency (sampling instant to message release)
+    used by the co-simulation: sensing plus control response times on the
+    sensor-side ECU.
+    """
+
+    sensing: PeriodicTask
+    control: PeriodicTask
+    actuation: PeriodicTask
+    sensor_ecu: Ecu
+    actuator_ecu: Ecu
+
+    def release_latency(self) -> float:
+        """Worst-case delay from sampling to the bus-release of ``u``."""
+        return self.sensor_ecu.response_time_bound(
+            self.sensing
+        ) + self.sensor_ecu.response_time_bound(self.control)
+
+    def actuation_latency(self) -> float:
+        """Worst-case delay from message delivery to actuation."""
+        return self.actuator_ecu.response_time_bound(self.actuation)
+
+
+def simple_application_tasks(
+    name: str,
+    period: float,
+    sensing_wcet: float = 1e-4,
+    control_wcet: float = 3e-4,
+    actuation_wcet: float = 1e-4,
+) -> ApplicationTasks:
+    """One application alone on its two ECUs (the common fast path)."""
+    sensor_ecu = Ecu(name=f"{name}-sense-ecu")
+    actuator_ecu = Ecu(name=f"{name}-act-ecu")
+    sensing = PeriodicTask(name=f"Ts,{name}", period=period, wcet=sensing_wcet, priority=0)
+    control = PeriodicTask(name=f"Tc,{name}", period=period, wcet=control_wcet, priority=1)
+    actuation = PeriodicTask(name=f"Ta,{name}", period=period, wcet=actuation_wcet, priority=0)
+    sensor_ecu.add_task(sensing)
+    sensor_ecu.add_task(control)
+    actuator_ecu.add_task(actuation)
+    return ApplicationTasks(
+        sensing=sensing,
+        control=control,
+        actuation=actuation,
+        sensor_ecu=sensor_ecu,
+        actuator_ecu=actuator_ecu,
+    )
+
+
+__all__ = [
+    "ApplicationTasks",
+    "Ecu",
+    "PeriodicTask",
+    "simple_application_tasks",
+]

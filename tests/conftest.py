@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.control.plants import servo_rig
+from repro.core.pwl import DwellCurve
+
+
+@pytest.fixture(scope="session")
+def servo_plant():
+    """The default servo-rig plant definition."""
+    return servo_rig()
+
+
+@pytest.fixture(scope="session")
+def stable_second_order():
+    """A simple well-damped discrete 2x2 matrix for settling tests."""
+    return np.array([[0.8, 0.1], [0.0, 0.7]])
+
+
+@pytest.fixture()
+def humped_curve():
+    """A synthetic non-monotonic dwell curve (rise then fall)."""
+    waits = np.linspace(0.0, 2.0, 21)
+    dwells = 0.6 + 0.8 * np.sin(np.clip(waits / 0.6, 0, np.pi / 2))
+    dwells = np.where(waits <= 0.6, dwells, np.maximum(0.0, 1.4 * (1 - (waits - 0.6) / 1.4)))
+    return DwellCurve(waits=waits, dwells=dwells, xi_et=2.0)
+
+
+@pytest.fixture()
+def monotone_curve():
+    """A synthetic monotone-decreasing dwell curve."""
+    waits = np.linspace(0.0, 1.0, 11)
+    dwells = np.maximum(0.0, 0.5 * (1.0 - waits))
+    return DwellCurve(waits=waits, dwells=dwells, xi_et=1.0)

@@ -1,0 +1,96 @@
+"""Tests for the best-fit / worst-fit allocation variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    best_fit_allocation,
+    dedicated_allocation,
+    first_fit_allocation,
+    make_analyzed,
+    worst_fit_allocation,
+)
+from repro.core.schedulability import is_slot_schedulable
+from repro.core.timing_params import PAPER_TABLE_I, TimingParameters
+
+
+@pytest.fixture(scope="module")
+def paper_apps():
+    return make_analyzed(PAPER_TABLE_I, "non-monotonic")
+
+
+class TestVariantsOnPaperSet:
+    def test_best_fit_matches_first_fit(self, paper_apps):
+        assert best_fit_allocation(paper_apps).slot_count == 3
+
+    def test_worst_fit_valid_but_possibly_wider(self, paper_apps):
+        result = worst_fit_allocation(paper_apps)
+        assert result.all_schedulable()
+        assert 3 <= result.slot_count <= len(paper_apps)
+
+    def test_all_variants_schedulable(self, paper_apps):
+        for allocate in (first_fit_allocation, best_fit_allocation, worst_fit_allocation):
+            result = allocate(paper_apps)
+            for slot in result.slots:
+                assert is_slot_schedulable(slot)
+
+    def test_every_app_placed_once(self, paper_apps):
+        for allocate in (best_fit_allocation, worst_fit_allocation):
+            result = allocate(paper_apps)
+            names = sorted(n for slot in result.slot_names for n in slot)
+            assert names == sorted(p.name for p in PAPER_TABLE_I)
+
+
+@st.composite
+def random_rosters(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    apps = []
+    for i in range(n):
+        xi_tt = draw(st.floats(min_value=0.1, max_value=1.5))
+        xi_m = xi_tt * draw(st.floats(min_value=1.0, max_value=2.0))
+        xi_et = xi_m * draw(st.floats(min_value=2.0, max_value=4.0))
+        deadline = xi_tt + draw(st.floats(min_value=0.5, max_value=20.0))
+        r = deadline * draw(st.floats(min_value=1.0, max_value=5.0))
+        apps.append(
+            TimingParameters(
+                name=f"A{i}",
+                min_inter_arrival=r,
+                deadline=deadline,
+                xi_tt=xi_tt,
+                xi_et=xi_et,
+                xi_m=xi_m,
+                k_p=0.3 * xi_et,
+                xi_m_mono=1.2 * xi_m,
+            )
+        )
+    return make_analyzed(apps, "non-monotonic")
+
+
+class TestVariantProperties:
+    @given(apps=random_rosters())
+    @settings(max_examples=60, deadline=None)
+    def test_all_heuristics_bounded_by_dedicated(self, apps):
+        try:
+            dedicated = dedicated_allocation(apps)
+        except ValueError:
+            return  # some app infeasible even alone: nothing to compare
+        if not dedicated.all_schedulable():
+            return
+        for allocate in (first_fit_allocation, best_fit_allocation, worst_fit_allocation):
+            try:
+                result = allocate(apps)
+            except ValueError:
+                continue
+            assert result.slot_count <= dedicated.slot_count
+            assert result.all_schedulable()
+
+    @given(apps=random_rosters())
+    @settings(max_examples=60, deadline=None)
+    def test_heuristics_place_every_app(self, apps):
+        try:
+            result = best_fit_allocation(apps)
+        except ValueError:
+            return
+        placed = sorted(n for slot in result.slot_names for n in slot)
+        assert placed == sorted(a.name for a in apps)

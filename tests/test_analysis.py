@@ -1,0 +1,88 @@
+"""Unit tests for repro.control.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.control.analysis import (
+    SettlingError,
+    norm_trajectory,
+    settle_index,
+    settling_time,
+    transient_profile,
+)
+
+
+class TestSettleIndex:
+    def test_all_below_returns_zero(self):
+        assert settle_index(np.array([0.05, 0.01]), threshold=0.1) == 0
+
+    def test_basic_crossing(self):
+        norms = np.array([1.0, 0.5, 0.2, 0.05, 0.01])
+        assert settle_index(norms, threshold=0.1) == 3
+
+    def test_recrossing_moves_settle_later(self):
+        norms = np.array([1.0, 0.05, 0.2, 0.05, 0.01])
+        assert settle_index(norms, threshold=0.1) == 3
+
+    def test_ends_above_returns_none(self):
+        norms = np.array([1.0, 0.5, 0.2])
+        assert settle_index(norms, threshold=0.1) is None
+
+
+class TestSettlingTime:
+    def test_scalar_geometric_decay(self):
+        # norm(k) = 0.5^k; first k with 0.5^k <= 0.1 is k = 4 (0.0625).
+        t = settling_time(np.array([[0.5]]), [1.0], threshold=0.1, period=1.0)
+        assert t == pytest.approx(4.0)
+
+    def test_period_scales_result(self):
+        t1 = settling_time(np.array([[0.5]]), [1.0], threshold=0.1, period=1.0)
+        t2 = settling_time(np.array([[0.5]]), [1.0], threshold=0.1, period=0.02)
+        assert t2 == pytest.approx(t1 * 0.02)
+
+    def test_already_settled_state(self, stable_second_order):
+        t = settling_time(stable_second_order, [0.01, 0.0], threshold=0.1)
+        assert t == 0.0
+
+    def test_norm_selector_restricts_monitoring(self, stable_second_order):
+        # Monitor only the first state; second state is large but ignored.
+        selector = np.array([[1.0, 0.0]])
+        t_full = settling_time(stable_second_order, [0.0, 5.0], threshold=0.1)
+        t_selected = settling_time(
+            stable_second_order, [0.0, 5.0], threshold=0.1, norm_selector=selector
+        )
+        assert t_selected <= t_full
+
+    def test_unstable_matrix_raises(self):
+        with pytest.raises(SettlingError, match="Schur"):
+            settling_time(np.array([[1.01]]), [1.0], threshold=0.1)
+
+    def test_transient_growth_handled(self):
+        # Strong Jordan-type transient growth must not fool the search.
+        a = np.array([[0.9, 10.0], [0.0, 0.9]])
+        t = settling_time(a, [0.0, 1.0], threshold=0.1, period=1.0)
+        norms = norm_trajectory(a, [0.0, 1.0], int(t) + 2)
+        assert np.all(norms[int(t):] <= 0.1 + 1e-12)
+        assert np.max(norms) > 1.0  # the transient really grew
+
+
+class TestNormTrajectory:
+    def test_length_and_start(self, stable_second_order):
+        norms = norm_trajectory(stable_second_order, [3.0, 4.0], steps=5)
+        assert norms.shape == (6,)
+        assert norms[0] == pytest.approx(5.0)
+
+
+class TestTransientProfile:
+    def test_monotone_decay_profile(self):
+        profile = transient_profile(np.array([[0.5]]), [1.0], threshold=0.1)
+        assert profile.monotone
+        assert profile.peak_norm == pytest.approx(1.0)
+        assert profile.peak_time == 0.0
+
+    def test_non_monotone_detected(self):
+        a = np.array([[0.9, 5.0], [0.0, 0.9]])
+        profile = transient_profile(a, [0.0, 1.0], threshold=0.05)
+        assert not profile.monotone
+        assert profile.peak_time > 0.0
+        assert profile.peak_norm > 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the CAN response-time analysis baseline."""
+
+import pytest
+
+from repro.baselines.can_rta import (
+    CanMessage,
+    analyze_message_set,
+    bus_utilization,
+    worst_case_response_time,
+)
+
+
+def msg(name, priority, period=0.01, transmission=0.001, **kwargs):
+    return CanMessage(
+        name=name, period=period, transmission=transmission, priority=priority, **kwargs
+    )
+
+
+class TestWorstCaseResponseTime:
+    def test_alone_is_own_transmission(self):
+        result = worst_case_response_time(msg("A", priority=1), [])
+        assert result.response_time == pytest.approx(0.001)
+        assert result.schedulable
+
+    def test_blocking_from_lower_priority(self):
+        subject = msg("A", priority=1)
+        blocker = msg("B", priority=2, transmission=0.003)
+        result = worst_case_response_time(subject, [blocker])
+        assert result.queuing_delay == pytest.approx(0.003)
+        assert result.response_time == pytest.approx(0.004)
+
+    def test_interference_from_higher_priority(self):
+        subject = msg("B", priority=2, period=0.02)
+        interferer = msg("A", priority=1, period=0.005, transmission=0.002)
+        result = worst_case_response_time(subject, [interferer])
+        # At least one interference hit before transmission.
+        assert result.queuing_delay >= 0.002
+
+    def test_overload_reported_unschedulable(self):
+        subject = msg("C", priority=3, period=0.01, transmission=0.002)
+        hogs = [
+            msg("A", priority=1, period=0.004, transmission=0.002),
+            msg("B", priority=2, period=0.004, transmission=0.002),
+        ]
+        result = worst_case_response_time(subject, hogs)
+        assert not result.schedulable
+
+    def test_fixed_point_property(self):
+        subject = msg("B", priority=2, period=0.05)
+        interferer = msg("A", priority=1, period=0.007, transmission=0.002)
+        result = worst_case_response_time(subject, [interferer])
+        if result.schedulable:
+            import math
+
+            rhs = math.ceil(result.queuing_delay / 0.007 + 1e-12) * 0.002
+            assert result.queuing_delay == pytest.approx(rhs)
+
+    def test_jitter_increases_interference(self):
+        subject = msg("B", priority=2, period=0.05)
+        calm = msg("A", priority=1, period=0.0021, transmission=0.002)
+        jittery = msg("A", priority=1, period=0.0021, transmission=0.002, jitter=0.0009)
+        r_calm = worst_case_response_time(subject, [calm])
+        r_jittery = worst_case_response_time(subject, [jittery])
+        assert r_jittery.response_time >= r_calm.response_time
+
+
+class TestMessageSet:
+    def test_analyze_all(self):
+        messages = [msg(f"M{i}", priority=i, period=0.02) for i in range(1, 5)]
+        results = analyze_message_set(messages)
+        assert len(results) == 4
+        # Lowest priority has the largest response.
+        responses = {r.name: r.response_time for r in results}
+        assert responses["M4"] >= responses["M1"]
+
+    def test_bus_utilization(self):
+        messages = [
+            msg("A", priority=1, period=0.01, transmission=0.002),
+            msg("B", priority=2, period=0.02, transmission=0.002),
+        ]
+        assert bus_utilization(messages) == pytest.approx(0.3)
+
+    def test_deadline_defaults_to_period(self):
+        m = msg("A", priority=1, period=0.015)
+        assert m.effective_deadline == 0.015
+        explicit = msg("A", priority=1, deadline=0.008)
+        assert explicit.effective_deadline == 0.008

@@ -1,0 +1,83 @@
+"""Tests for the end-to-end characterisation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.control.plants import dc_motor_speed, servo_rig
+from repro.core.characterization import (
+    characterize_curve,
+    characterize_plant,
+    characterize_response_source,
+)
+from repro.core.pwl import DwellCurve
+
+
+class TestCharacterizeCurve:
+    def test_parameters_read_off_models(self, humped_curve):
+        result = characterize_curve(
+            "app", humped_curve, deadline=5.0, min_inter_arrival=10.0
+        )
+        params = result.params
+        assert params.xi_tt == pytest.approx(humped_curve.xi_tt)
+        assert params.xi_m == pytest.approx(result.non_monotonic_model.max_dwell)
+        assert params.xi_m_mono == pytest.approx(result.monotonic_model.max_dwell)
+        assert params.xi_m_mono >= params.xi_m
+
+    def test_models_dominate_measurement(self, humped_curve):
+        result = characterize_curve(
+            "app", humped_curve, deadline=5.0, min_inter_arrival=10.0
+        )
+        assert result.non_monotonic_model.dominates(humped_curve)
+        assert result.monotonic_model.dominates(humped_curve)
+
+    def test_deadline_validation_propagates(self, humped_curve):
+        with pytest.raises(ValueError):
+            characterize_curve("app", humped_curve, deadline=20.0, min_inter_arrival=10.0)
+
+
+class TestCharacterizePlant:
+    @pytest.fixture(scope="class")
+    def result(self):
+        plant = dc_motor_speed()
+        return characterize_plant(
+            name="motor",
+            plant=plant,
+            et_delay=plant.period,
+            tt_delay=0.0,
+            deadline=8.0,
+            min_inter_arrival=20.0,
+            wait_step=2,
+        )
+
+    def test_tt_faster_than_et(self, result):
+        assert result.params.xi_tt <= result.params.xi_et
+
+    def test_curve_dominated_by_models(self, result):
+        assert result.non_monotonic_model.dominates(result.curve)
+        assert result.monotonic_model.dominates(result.curve)
+
+    def test_parameters_name(self, result):
+        assert result.params.name == "motor"
+
+
+class TestCharacterizeResponseSource:
+    def test_black_box_interface(self):
+        """A synthetic response source with a known dwell law."""
+        period = 0.1
+        xi_et = 2.0
+
+        def source(wait_samples: int) -> float:
+            wait = wait_samples * period
+            dwell = max(0.0, 1.0 - 0.5 * wait) if wait < xi_et else 0.0
+            return wait + dwell
+
+        result = characterize_response_source(
+            "synthetic",
+            source,
+            pure_et_response=xi_et,
+            period=period,
+            deadline=3.0,
+            min_inter_arrival=5.0,
+        )
+        assert result.params.xi_tt == pytest.approx(1.0)
+        assert result.non_monotonic_model.dominates(result.curve)

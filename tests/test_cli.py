@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            ["fig3"],
+            ["fig4"],
+            ["table1", "--paper-only"],
+            ["allocation"],
+            ["fig5", "--plots"],
+            ["ablations", "--which", "segments"],
+            ["validate", "--seeds", "2"],
+            ["sensitivity", "--scales", "1.0", "2.0"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_table1_paper_only(self, capsys):
+        assert main(["table1", "--paper-only"]) == 0
+        out = capsys.readouterr().out
+        assert "C3" in out and "Table I" in out
+
+    def test_allocation(self, capsys):
+        assert main(["allocation"]) == 0
+        out = capsys.readouterr().out
+        assert "67% more TT slots" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "--scales", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out.lower()
+        assert "3" in out and "5" in out

@@ -1,0 +1,71 @@
+"""Tests for FlexRay bus-configuration planning."""
+
+import pytest
+
+from repro.core.allocation import first_fit_allocation, make_analyzed
+from repro.core.timing_params import PAPER_TABLE_I
+from repro.flexray.config_tools import (
+    BusConfigurationError,
+    plan_bus_configuration,
+)
+from repro.flexray.params import FlexRayConfig, paper_bus_config
+
+
+@pytest.fixture(scope="module")
+def paper_groups():
+    allocation = first_fit_allocation(make_analyzed(PAPER_TABLE_I, "non-monotonic"))
+    return allocation.slot_names
+
+
+class TestPlanBusConfiguration:
+    def test_paper_allocation_fits_paper_bus(self, paper_groups):
+        plan = plan_bus_configuration(paper_groups, paper_bus_config())
+        assert plan.reserved_slots == [0, 1, 2]
+        assert plan.static_utilization() == pytest.approx(0.3)
+
+    def test_frame_ids_follow_priority(self, paper_groups):
+        plan = plan_bus_configuration(paper_groups, paper_bus_config())
+        # C3 is the highest-priority application: lowest frame ID.
+        assert plan.frame_of("C3").frame_id == 1
+        ordered = [app.frame.frame_id for app in plan.applications]
+        assert ordered == sorted(ordered)
+
+    def test_groups_share_slots(self, paper_groups):
+        plan = plan_bus_configuration(paper_groups, paper_bus_config())
+        assert plan.slot_of("C3") == plan.slot_of("C6")
+        assert plan.slot_of("C2") == plan.slot_of("C4")
+        assert plan.slot_of("C3") != plan.slot_of("C2")
+
+    def test_et_worst_delays_reported(self, paper_groups):
+        plan = plan_bus_configuration(paper_groups, paper_bus_config())
+        for app in plan.applications:
+            assert 0.0 < app.et_worst_delay < 0.020
+
+    def test_et_delay_cap_enforced(self, paper_groups):
+        with pytest.raises(BusConfigurationError, match="exceeds the design"):
+            plan_bus_configuration(
+                paper_groups, paper_bus_config(), max_et_delay=1e-4
+            )
+
+    def test_too_many_groups_rejected(self):
+        bus = FlexRayConfig(
+            cycle_length=0.005, static_slots=2, static_slot_length=0.0002
+        )
+        groups = [["A"], ["B"], ["C"]]
+        with pytest.raises(BusConfigurationError, match="static slots"):
+            plan_bus_configuration(groups, bus)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(BusConfigurationError, match="duplicate"):
+            plan_bus_configuration([["A"], ["A"]], paper_bus_config())
+
+    def test_summary_renders(self, paper_groups):
+        plan = plan_bus_configuration(paper_groups, paper_bus_config())
+        text = plan.summary()
+        assert "3/10 static slots" in text
+        assert "C3" in text
+
+    def test_unknown_lookup_raises(self, paper_groups):
+        plan = plan_bus_configuration(paper_groups, paper_bus_config())
+        with pytest.raises(KeyError):
+            plan.frame_of("C99")

@@ -1,0 +1,122 @@
+"""Unit tests for repro.control.controller."""
+
+import numpy as np
+import pytest
+
+from repro.control.controller import (
+    design_mode_controller,
+    design_switched_application,
+)
+from repro.control.plants import servo_rig
+from repro.utils.linalg import is_schur_stable
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return servo_rig()
+
+
+@pytest.fixture(scope="module")
+def application(plant):
+    return design_switched_application(
+        name="servo",
+        plant=plant.model,
+        period=plant.period,
+        et_delay=plant.period,
+        tt_delay=0.0007,
+        q=plant.q,
+        r=plant.r,
+        threshold=plant.threshold,
+    )
+
+
+class TestDesignModeController:
+    def test_stabilizes_unstable_plant(self, plant):
+        controller = design_mode_controller(
+            plant.model, period=plant.period, delay=0.0, q=plant.q, r=plant.r
+        )
+        assert controller.is_stabilizing()
+
+    def test_stabilizes_with_full_delay(self, plant):
+        controller = design_mode_controller(
+            plant.model, period=plant.period, delay=plant.period, q=plant.q, r=plant.r
+        )
+        assert controller.is_stabilizing()
+
+    def test_gain_shape_covers_augmented_state(self, plant):
+        controller = design_mode_controller(
+            plant.model, period=plant.period, delay=0.01, q=plant.q, r=plant.r
+        )
+        assert controller.gain.shape == (1, 3)
+
+    def test_control_law_is_linear(self, plant):
+        controller = design_mode_controller(
+            plant.model, period=plant.period, delay=0.01, q=plant.q, r=plant.r
+        )
+        u1 = controller.control([0.1, 0.0], [0.0])
+        u2 = controller.control([0.2, 0.0], [0.0])
+        np.testing.assert_allclose(2 * u1, u2, atol=1e-12)
+
+    def test_closed_loop_matches_gain(self, plant):
+        controller = design_mode_controller(
+            plant.model, period=plant.period, delay=0.01, q=plant.q, r=plant.r
+        )
+        aug = controller.plant.augmented()
+        np.testing.assert_allclose(
+            controller.closed_loop, aug.a - aug.b @ controller.gain, atol=1e-12
+        )
+
+    def test_rejects_delay_beyond_period(self, plant):
+        with pytest.raises(ValueError):
+            design_mode_controller(
+                plant.model, period=plant.period, delay=1.0, q=plant.q, r=plant.r
+            )
+
+
+class TestSwitchedApplication:
+    def test_both_loops_stable(self, application):
+        assert is_schur_stable(application.a1)
+        assert is_schur_stable(application.a2)
+
+    def test_mode_delays(self, application):
+        assert application.et.plant.delay == pytest.approx(0.020)
+        assert application.tt.plant.delay == pytest.approx(0.0007)
+
+    def test_initial_state_appends_zero_input(self, application):
+        z0 = application.initial_state([0.5, -0.1])
+        np.testing.assert_allclose(z0, [0.5, -0.1, 0.0])
+
+    def test_initial_state_rejects_wrong_size(self, application):
+        with pytest.raises(ValueError):
+            application.initial_state([1.0])
+
+    def test_norm_selector_extracts_plant_states(self, application):
+        selector = application.plant_norm_selector()
+        z = np.array([1.0, 2.0, 42.0])
+        np.testing.assert_allclose(selector @ z, [1.0, 2.0])
+
+    def test_rejects_equal_delays(self, plant):
+        with pytest.raises(ValueError, match="tt_delay < et_delay"):
+            design_switched_application(
+                name="bad",
+                plant=plant.model,
+                period=plant.period,
+                et_delay=0.001,
+                tt_delay=0.001,
+                q=plant.q,
+                r=plant.r,
+                threshold=plant.threshold,
+            )
+
+    def test_rejects_nonpositive_threshold(self, plant):
+        with pytest.raises(ValueError):
+            design_switched_application(
+                name="bad",
+                plant=plant.model,
+                period=plant.period,
+                et_delay=plant.period,
+                tt_delay=0.0,
+                q=plant.q,
+                r=plant.r,
+                threshold=0.0,
+            )

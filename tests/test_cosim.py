@@ -1,0 +1,146 @@
+"""Integration tests for the multi-application co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.control.controller import design_switched_application
+from repro.control.disturbance import OneShotDisturbance, PeriodicDisturbance
+from repro.control.plants import dc_motor_speed, servo_rig
+from repro.flexray import FlexRayBus, FrameSpec, paper_bus_config
+from repro.sim import (
+    AnalyticNetwork,
+    CoSimApplication,
+    CoSimulator,
+    FlexRayNetwork,
+)
+from repro.sim.runtime import CommState
+
+
+def make_app(name, plantdef, slot, frame_id, deadline, disturbances=None):
+    app = design_switched_application(
+        name=name,
+        plant=plantdef.model,
+        period=plantdef.period,
+        et_delay=plantdef.period,
+        tt_delay=0.0007,
+        q=plantdef.q,
+        r=plantdef.r,
+        threshold=plantdef.threshold,
+    )
+    return CoSimApplication(
+        app=app,
+        dynamics=plantdef.model,
+        disturbance_state=plantdef.disturbance,
+        disturbances=disturbances or OneShotDisturbance(time=0.0),
+        deadline=deadline,
+        slot=slot,
+        frame=FrameSpec(frame_id=frame_id, sender=name),
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_slot_apps():
+    return [
+        make_app("servo", servo_rig(), slot=0, frame_id=1, deadline=5.0),
+        make_app("motor", dc_motor_speed(), slot=0, frame_id=2, deadline=6.0),
+    ]
+
+
+class TestAnalyticCoSim:
+    def test_all_deadlines_met(self, shared_slot_apps):
+        sim = CoSimulator(shared_slot_apps, AnalyticNetwork())
+        trace = sim.run(6.0)
+        assert trace.all_deadlines_met()
+
+    def test_each_disturbance_rejected_once(self, shared_slot_apps):
+        sim = CoSimulator(shared_slot_apps, AnalyticNetwork())
+        trace = sim.run(6.0)
+        for name in ("servo", "motor"):
+            assert len(trace[name].response_times) == 1
+
+    def test_servo_uses_tt_then_releases(self, shared_slot_apps):
+        sim = CoSimulator(shared_slot_apps, AnalyticNetwork())
+        trace = sim.run(6.0)
+        intervals = trace["servo"].tt_intervals()
+        assert len(intervals) == 1
+        start, end = intervals[0]
+        assert start == pytest.approx(0.0)
+        assert end > start
+
+    def test_norms_settle_below_threshold(self, shared_slot_apps):
+        sim = CoSimulator(shared_slot_apps, AnalyticNetwork())
+        trace = sim.run(6.0)
+        for name in ("servo", "motor"):
+            settle = trace[name].settling_time()
+            assert settle is not None
+            assert settle < 6.0
+
+    def test_delays_match_modes(self, shared_slot_apps):
+        sim = CoSimulator(shared_slot_apps, AnalyticNetwork())
+        trace = sim.run(6.0)
+        servo = trace["servo"]
+        for state, delay in zip(servo.states, servo.delays[:-1]):
+            if state is CommState.TT_HOLDING:
+                assert delay == pytest.approx(0.0007)
+
+    def test_periodic_disturbances_give_repeated_episodes(self):
+        app = make_app(
+            "servo",
+            servo_rig(),
+            slot=0,
+            frame_id=1,
+            deadline=5.0,
+            disturbances=PeriodicDisturbance(period=5.0),
+        )
+        sim = CoSimulator([app], AnalyticNetwork())
+        trace = sim.run(14.9)
+        assert len(trace["servo"].response_times) == 3
+        assert trace.all_deadlines_met()
+
+
+class TestFlexRayCoSim:
+    def test_matches_analytic_with_equalization(self, shared_slot_apps):
+        analytic = CoSimulator(shared_slot_apps, AnalyticNetwork()).run(6.0)
+        network = FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))
+        flexray_trace = CoSimulator(shared_slot_apps, network).run(6.0)
+        for name in ("servo", "motor"):
+            a = analytic[name].response_times
+            b = flexray_trace[name].response_times
+            assert a == pytest.approx(b, abs=0.05)
+
+    def test_bus_actually_carried_messages(self, shared_slot_apps):
+        network = FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))
+        sim = CoSimulator(shared_slot_apps, network)
+        sim.run(2.0)
+        stats = network.bus.statistics
+        assert stats.tt_deliveries > 0
+        assert stats.et_deliveries > 0
+
+    def test_no_jitter_violations_on_quiet_bus(self, shared_slot_apps):
+        network = FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))
+        sim = CoSimulator(shared_slot_apps, network)
+        sim.run(2.0)
+        assert sim.jitter_violations == 0
+
+    def test_raw_delays_without_equalization_are_faster(self, shared_slot_apps):
+        network = FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))
+        sim = CoSimulator(shared_slot_apps, network, equalize_delays=False)
+        trace = sim.run(1.0)
+        servo = trace["servo"]
+        # Raw ET deliveries on a quiet bus beat the 20 ms worst case.
+        et_delays = [
+            d
+            for state, d in zip(servo.states, servo.delays[:-1])
+            if state is not CommState.TT_HOLDING
+        ]
+        assert et_delays and max(et_delays) < 0.010
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self, shared_slot_apps):
+        with pytest.raises(ValueError, match="unique"):
+            CoSimulator([shared_slot_apps[0], shared_slot_apps[0]], AnalyticNetwork())
+
+    def test_empty_application_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CoSimulator([], AnalyticNetwork())

@@ -1,0 +1,102 @@
+"""Tests for the quadratic QoC cost module."""
+
+import numpy as np
+import pytest
+
+from repro.control.controller import design_switched_application
+from repro.control.cost import (
+    LyapunovError,
+    autonomous_cost,
+    solve_dlyap,
+    switched_cost,
+    waiting_penalty,
+)
+from repro.control.plants import servo_rig
+
+
+class TestSolveDlyap:
+    def test_scalar_closed_form(self):
+        # A = a: P = w / (1 - a^2).
+        p = solve_dlyap(np.array([[0.5]]), np.array([[1.0]]))
+        assert p[0, 0] == pytest.approx(1.0 / (1 - 0.25))
+
+    def test_residual_property(self):
+        rng = np.random.default_rng(4)
+        a = 0.5 * rng.normal(size=(3, 3))
+        a /= max(1.0, 1.5 * np.max(np.abs(np.linalg.eigvals(a))))
+        w = np.eye(3)
+        p = solve_dlyap(a, w)
+        np.testing.assert_allclose(a.T @ p @ a - p + w, 0.0, atol=1e-8)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(LyapunovError, match="Schur"):
+            solve_dlyap(np.array([[1.1]]), np.array([[1.0]]))
+
+
+class TestAutonomousCost:
+    def test_matches_explicit_sum(self):
+        a = np.array([[0.6, 0.1], [0.0, 0.4]])
+        x0 = np.array([1.0, -2.0])
+        closed_form = autonomous_cost(a, x0)
+        explicit, x = 0.0, x0.copy()
+        for _ in range(200):
+            explicit += float(x @ x)
+            x = a @ x
+        assert closed_form == pytest.approx(explicit, rel=1e-10)
+
+    def test_weighted_cost(self):
+        a = np.array([[0.5]])
+        x0 = np.array([2.0])
+        assert autonomous_cost(a, x0, weight=np.array([[3.0]])) == pytest.approx(
+            3.0 * autonomous_cost(a, x0)
+        )
+
+    def test_zero_state_zero_cost(self):
+        assert autonomous_cost(np.array([[0.5]]), [0.0]) == 0.0
+
+
+class TestSwitchedCost:
+    @pytest.fixture(scope="class")
+    def loops(self):
+        plant = servo_rig()
+        app = design_switched_application(
+            name="servo",
+            plant=plant.model,
+            period=plant.period,
+            et_delay=plant.period,
+            tt_delay=0.0007,
+            q=plant.q,
+            r=plant.r,
+            threshold=plant.threshold,
+        )
+        return app.a1, app.a2, app.initial_state(plant.disturbance)
+
+    def test_zero_wait_is_pure_tt_cost(self, loops):
+        a1, a2, z0 = loops
+        assert switched_cost(a1, a2, z0, 0) == pytest.approx(
+            autonomous_cost(a2, z0)
+        )
+
+    def test_infinite_wait_approaches_pure_et_cost(self, loops):
+        a1, a2, z0 = loops
+        long_wait = switched_cost(a1, a2, z0, 400)
+        assert long_wait == pytest.approx(autonomous_cost(a1, z0), rel=1e-3)
+
+    def test_matches_explicit_simulation(self, loops):
+        a1, a2, z0 = loops
+        kwait = 12
+        closed_form = switched_cost(a1, a2, z0, kwait)
+        explicit, x = 0.0, z0.copy()
+        for k in range(600):
+            explicit += float(x @ x)
+            x = (a1 if k < kwait else a2) @ x
+        assert closed_form == pytest.approx(explicit, rel=1e-6)
+
+    def test_waiting_penalty_positive_for_detuned_et(self, loops):
+        a1, a2, z0 = loops
+        assert waiting_penalty(a1, a2, z0, 20) > 0.0
+
+    def test_rejects_negative_wait(self, loops):
+        a1, a2, z0 = loops
+        with pytest.raises(ValueError):
+            switched_cost(a1, a2, z0, -1)

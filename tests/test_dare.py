@@ -1,0 +1,103 @@
+"""Unit tests for repro.control.dare."""
+
+import numpy as np
+import pytest
+
+from repro.control.dare import (
+    RiccatiError,
+    dare_residual,
+    dlqr,
+    solve_dare,
+    solve_dare_iterative,
+)
+from repro.utils.linalg import is_schur_stable
+
+
+def example_system():
+    a = np.array([[1.1, 0.1], [0.0, 0.9]])
+    b = np.array([[0.0], [1.0]])
+    q = np.diag([1.0, 0.5])
+    r = np.array([[0.2]])
+    return a, b, q, r
+
+
+class TestSolveDare:
+    def test_residual_is_small(self):
+        a, b, q, r = example_system()
+        p = solve_dare(a, b, q, r)
+        assert dare_residual(a, b, q, r, p) < 1e-8
+
+    def test_solution_is_symmetric_psd(self):
+        a, b, q, r = example_system()
+        p = solve_dare(a, b, q, r)
+        np.testing.assert_allclose(p, p.T, atol=1e-10)
+        assert np.min(np.linalg.eigvalsh(p)) >= -1e-10
+
+    def test_iterative_matches_scipy(self):
+        a, b, q, r = example_system()
+        p_scipy = solve_dare(a, b, q, r)
+        p_iter = solve_dare_iterative(a, b, q, r)
+        np.testing.assert_allclose(p_iter, p_scipy, rtol=1e-6, atol=1e-8)
+
+    def test_scalar_system_closed_form(self):
+        # For x[k+1] = a x + b u with q, r, the DARE reduces to a quadratic
+        # in p; verify against its positive root.
+        a, b, q, r = 0.5, 1.0, 1.0, 1.0
+        p = solve_dare([[a]], [[b]], [[q]], [[r]])[0, 0]
+        # p = a^2 p - a^2 p^2 b^2/(r + b^2 p) + q
+        residual = a * a * p - (a * a * p * p * b * b) / (r + b * b * p) + q - p
+        assert abs(residual) < 1e-10
+
+    def test_rejects_indefinite_r(self):
+        a, b, q, _ = example_system()
+        with pytest.raises(ValueError, match="positive definite"):
+            solve_dare(a, b, q, np.array([[0.0]]))
+
+    def test_rejects_indefinite_q(self):
+        a, b, _, r = example_system()
+        with pytest.raises(ValueError, match="semi-definite"):
+            solve_dare(a, b, -np.eye(2), r)
+
+    def test_rejects_wrong_q_dimension(self):
+        a, b, _, r = example_system()
+        with pytest.raises(ValueError, match="state dimension"):
+            solve_dare(a, b, np.eye(3), r)
+
+
+class TestDlqr:
+    def test_closed_loop_is_stable(self):
+        a, b, q, r = example_system()
+        result = dlqr(a, b, q, r)
+        assert result.is_stabilizing()
+        assert is_schur_stable(result.closed_loop)
+
+    def test_gain_consistent_with_cost_matrix(self):
+        a, b, q, r = example_system()
+        result = dlqr(a, b, q, r)
+        btp = b.T @ result.cost_matrix
+        expected = np.linalg.solve(r + btp @ b, btp @ a)
+        np.testing.assert_allclose(result.gain, expected, atol=1e-10)
+
+    def test_iterative_solver_option(self):
+        a, b, q, r = example_system()
+        auto = dlqr(a, b, q, r, solver="auto")
+        iterative = dlqr(a, b, q, r, solver="iterative")
+        np.testing.assert_allclose(auto.gain, iterative.gain, rtol=1e-5, atol=1e-8)
+
+    def test_unknown_solver_rejected(self):
+        a, b, q, r = example_system()
+        with pytest.raises(ValueError, match="unknown solver"):
+            dlqr(a, b, q, r, solver="magic")
+
+    def test_cheaper_control_gives_smaller_gain(self):
+        a, b, q, r = example_system()
+        aggressive = dlqr(a, b, q, r)
+        timid = dlqr(a, b, q, 100 * np.asarray(r))
+        assert np.linalg.norm(timid.gain) < np.linalg.norm(aggressive.gain)
+
+    def test_uncontrollable_unstable_system_fails(self):
+        # Unstable mode not reachable from the input: no stabilising LQR.
+        a = np.diag([1.5, 0.5])
+        b = np.array([[0.0], [1.0]])
+        with pytest.raises((RiccatiError, np.linalg.LinAlgError, ValueError)):
+            dlqr(a, b, np.eye(2), np.eye(1))

@@ -1,0 +1,82 @@
+"""Unit tests for repro.control.disturbance."""
+
+import numpy as np
+import pytest
+
+from repro.control.disturbance import (
+    DisturbanceEvent,
+    OneShotDisturbance,
+    PeriodicDisturbance,
+    SporadicDisturbance,
+    validate_deadline_against_arrivals,
+)
+
+
+class TestPeriodicDisturbance:
+    def test_event_times(self):
+        process = PeriodicDisturbance(period=2.0, offset=1.0)
+        events = process.events_until(7.0)
+        assert [e.time for e in events] == [1.0, 3.0, 5.0]
+
+    def test_horizon_is_exclusive(self):
+        process = PeriodicDisturbance(period=1.0)
+        events = process.events_until(3.0)
+        assert [e.time for e in events] == [0.0, 1.0, 2.0]
+
+    def test_min_inter_arrival_equals_period(self):
+        assert PeriodicDisturbance(period=5.0).min_inter_arrival == 5.0
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicDisturbance(period=0.0)
+
+
+class TestSporadicDisturbance:
+    def test_respects_min_inter_arrival(self):
+        process = SporadicDisturbance(min_inter_arrival=1.5, mean_extra_gap=0.7, seed=3)
+        times = [e.time for e in process.events_until(50.0)]
+        gaps = np.diff(times)
+        assert np.all(gaps >= 1.5 - 1e-12)
+
+    def test_deterministic_with_seed(self):
+        a = SporadicDisturbance(min_inter_arrival=1.0, mean_extra_gap=0.5, seed=9)
+        b = SporadicDisturbance(min_inter_arrival=1.0, mean_extra_gap=0.5, seed=9)
+        assert [e.time for e in a.events_until(20.0)] == [
+            e.time for e in b.events_until(20.0)
+        ]
+
+    def test_zero_extra_gap_is_periodic(self):
+        process = SporadicDisturbance(min_inter_arrival=2.0, mean_extra_gap=0.0)
+        times = [e.time for e in process.events_until(9.0)]
+        np.testing.assert_allclose(times, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+
+class TestOneShot:
+    def test_single_event(self):
+        process = OneShotDisturbance(time=0.5)
+        events = process.events_until(100.0)
+        assert len(events) == 1
+        assert events[0].time == 0.5
+
+    def test_event_after_horizon_excluded(self):
+        process = OneShotDisturbance(time=5.0)
+        assert process.events_until(2.0) == []
+
+
+class TestDeadlineValidation:
+    def test_accepts_deadline_at_inter_arrival(self):
+        validate_deadline_against_arrivals(deadline=5.0, min_inter_arrival=5.0)
+
+    def test_rejects_deadline_beyond_inter_arrival(self):
+        with pytest.raises(ValueError, match="inter-arrival"):
+            validate_deadline_against_arrivals(deadline=6.0, min_inter_arrival=5.0)
+
+
+class TestDisturbanceEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            DisturbanceEvent(time=-1.0)
+
+    def test_rejects_zero_magnitude(self):
+        with pytest.raises(ValueError):
+            DisturbanceEvent(time=0.0, magnitude=0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for repro.flexray.params."""
+
+import pytest
+
+from repro.flexray.params import FlexRayConfig, paper_bus_config
+
+
+class TestFlexRayConfig:
+    def test_paper_bus_geometry(self):
+        cfg = paper_bus_config()
+        assert cfg.cycle_length == pytest.approx(0.005)
+        assert cfg.static_slots == 10
+        assert cfg.static_segment_length == pytest.approx(0.002)
+        assert cfg.dynamic_segment_length == pytest.approx(0.003)
+        assert cfg.minislots == 300
+
+    def test_static_slot_window(self):
+        cfg = paper_bus_config()
+        start, end = cfg.static_slot_window(0, 0)
+        assert start == pytest.approx(0.0)
+        assert end == pytest.approx(0.0002)
+        start, end = cfg.static_slot_window(2, 3)
+        assert start == pytest.approx(2 * 0.005 + 3 * 0.0002)
+        assert end - start == pytest.approx(cfg.static_slot_length)
+
+    def test_dynamic_segment_start(self):
+        cfg = paper_bus_config()
+        assert cfg.dynamic_segment_start(1) == pytest.approx(0.005 + 0.002)
+
+    def test_cycle_of(self):
+        cfg = paper_bus_config()
+        assert cfg.cycle_of(0.0) == 0
+        assert cfg.cycle_of(0.0049) == 0
+        assert cfg.cycle_of(0.005) == 1
+        assert cfg.cycle_of(0.0123) == 2
+
+    def test_rejects_static_segment_filling_cycle(self):
+        with pytest.raises(ValueError, match="dynamic segment"):
+            FlexRayConfig(
+                cycle_length=0.002,
+                static_slots=10,
+                static_slot_length=0.0002,
+            )
+
+    def test_rejects_minislot_bigger_than_slot(self):
+        with pytest.raises(ValueError, match="shorter than static slots"):
+            FlexRayConfig(minislot_length=0.001)
+
+    def test_rejects_bad_slot_index(self):
+        cfg = paper_bus_config()
+        with pytest.raises(ValueError):
+            cfg.static_slot_window(0, 10)
+        with pytest.raises(ValueError):
+            cfg.static_slot_window(0, -1)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            paper_bus_config().cycle_of(-0.1)

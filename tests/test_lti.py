@@ -1,0 +1,117 @@
+"""Unit tests for repro.control.lti."""
+
+import numpy as np
+import pytest
+
+from repro.control.lti import (
+    AugmentedStateSpace,
+    ContinuousStateSpace,
+    DelayedStateSpace,
+    simulate_autonomous,
+)
+
+
+def make_delayed(delay=0.005):
+    return DelayedStateSpace(
+        phi=np.array([[1.0, 0.1], [0.0, 1.0]]),
+        gamma0=np.array([[0.005], [0.1]]),
+        gamma1=np.array([[0.001], [0.02]]),
+        c=np.eye(2),
+        period=0.1,
+        delay=delay,
+    )
+
+
+class TestContinuousStateSpace:
+    def test_dimensions(self):
+        sys = ContinuousStateSpace(a=np.zeros((2, 2)), b=np.ones((2, 1)))
+        assert sys.n_states == 2
+        assert sys.n_inputs == 1
+        assert sys.n_outputs == 2  # default C = I
+
+    def test_default_output_matrix_is_identity(self):
+        sys = ContinuousStateSpace(a=np.zeros((3, 3)), b=np.ones((3, 1)))
+        np.testing.assert_allclose(sys.c, np.eye(3))
+
+    def test_rejects_mismatched_b(self):
+        with pytest.raises(ValueError):
+            ContinuousStateSpace(a=np.zeros((2, 2)), b=np.ones((3, 1)))
+
+    def test_rejects_non_square_a(self):
+        with pytest.raises(ValueError, match="square"):
+            ContinuousStateSpace(a=np.zeros((2, 3)), b=np.ones((2, 1)))
+
+    def test_stability_check(self):
+        stable = ContinuousStateSpace(a=-np.eye(2), b=np.ones((2, 1)))
+        unstable = ContinuousStateSpace(a=np.eye(2), b=np.ones((2, 1)))
+        assert stable.is_stable()
+        assert not unstable.is_stable()
+
+
+class TestDelayedStateSpace:
+    def test_step_matches_matrices(self):
+        sys = make_delayed()
+        x = np.array([1.0, -1.0])
+        u = np.array([2.0])
+        u_prev = np.array([0.5])
+        expected = sys.phi @ x + sys.gamma0 @ u + sys.gamma1 @ u_prev
+        np.testing.assert_allclose(sys.step(x, u, u_prev), expected)
+
+    def test_rejects_delay_above_period(self):
+        with pytest.raises(ValueError, match="delay"):
+            make_delayed(delay=0.2)
+
+    def test_augmented_shapes(self):
+        aug = make_delayed().augmented()
+        assert aug.a.shape == (3, 3)
+        assert aug.b.shape == (3, 1)
+        assert aug.n_plant_states == 2
+
+    def test_augmented_dynamics_match_original(self):
+        sys = make_delayed()
+        aug = sys.augmented()
+        x = np.array([0.3, -0.7])
+        u_prev = np.array([0.2])
+        u = np.array([1.5])
+        z = np.concatenate([x, u_prev])
+        z_next = aug.a @ z + aug.b @ u
+        np.testing.assert_allclose(z_next[:2], sys.step(x, u, u_prev))
+        np.testing.assert_allclose(z_next[2:], u)
+
+
+class TestAugmentedStateSpace:
+    def test_closed_loop_shape(self):
+        aug = make_delayed().augmented()
+        gain = np.ones((1, 3))
+        cl = aug.closed_loop(gain)
+        np.testing.assert_allclose(cl, aug.a - aug.b @ gain)
+
+    def test_closed_loop_rejects_bad_gain(self):
+        aug = make_delayed().augmented()
+        with pytest.raises(ValueError):
+            aug.closed_loop(np.ones((1, 2)))
+
+    def test_plant_norm_selector(self):
+        aug = make_delayed().augmented()
+        selector = aug.plant_norm_selector()
+        z = np.array([1.0, 2.0, 99.0])
+        np.testing.assert_allclose(selector @ z, [1.0, 2.0])
+
+
+class TestSimulateAutonomous:
+    def test_first_row_is_initial_state(self):
+        a = np.diag([0.5, 0.5])
+        out = simulate_autonomous(a, [1.0, 2.0], steps=3)
+        np.testing.assert_allclose(out[0], [1.0, 2.0])
+
+    def test_geometric_decay(self):
+        out = simulate_autonomous(np.array([[0.5]]), [8.0], steps=3)
+        np.testing.assert_allclose(out.ravel(), [8.0, 4.0, 2.0, 1.0])
+
+    def test_zero_steps(self):
+        out = simulate_autonomous(np.eye(2), [1.0, 1.0], steps=0)
+        assert out.shape == (1, 2)
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            simulate_autonomous(np.eye(2), [1.0, 1.0], steps=-1)

@@ -1,0 +1,79 @@
+"""Unit tests for the plant zoo."""
+
+import numpy as np
+import pytest
+
+from repro.control.plants import (
+    CASE_STUDY_PLANTS,
+    PLANT_REGISTRY,
+    make_plant,
+    servo_rig,
+)
+from repro.control.controller import design_switched_application
+
+
+class TestRegistry:
+    def test_all_factories_build(self):
+        for name in PLANT_REGISTRY:
+            plant = make_plant(name)
+            assert plant.name == name
+            assert plant.model.n_states >= 1
+            assert plant.model.n_inputs == 1
+
+    def test_unknown_plant_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known plants"):
+            make_plant("warp-drive")
+
+    def test_case_study_plants_are_registered(self):
+        for name in CASE_STUDY_PLANTS:
+            assert name in PLANT_REGISTRY
+        assert len(CASE_STUDY_PLANTS) == 6
+
+    def test_definitions_are_consistent(self):
+        for name in PLANT_REGISTRY:
+            plant = make_plant(name)
+            n = plant.model.n_states
+            assert plant.q.shape == (n, n)
+            assert plant.r.shape == (1, 1)
+            assert plant.disturbance.shape == (n,)
+            assert plant.threshold > 0
+            assert plant.period > 0
+
+
+class TestServoRig:
+    def test_upright_equilibrium_is_unstable(self):
+        plant = servo_rig()
+        eigenvalues = np.linalg.eigvals(plant.model.a)
+        assert np.max(eigenvalues.real) > 0
+
+    def test_matches_paper_setup(self):
+        plant = servo_rig()
+        assert plant.period == pytest.approx(0.020)  # h = 20 ms
+        assert plant.threshold == pytest.approx(0.1)  # Eth
+        assert plant.disturbance[0] == pytest.approx(np.deg2rad(45.0))
+        assert plant.disturbance[1] == 0.0
+
+    def test_gravity_scales_instability(self):
+        light = servo_rig(gravity=1.0)
+        heavy = servo_rig(gravity=20.0)
+        pole = lambda p: np.max(np.linalg.eigvals(p.model.a).real)
+        assert pole(heavy) > pole(light)
+
+
+class TestPlantsAreControllable:
+    @pytest.mark.parametrize("name", sorted(PLANT_REGISTRY))
+    def test_switched_design_succeeds(self, name):
+        """Every registered plant must admit both mode controllers."""
+        plant = make_plant(name)
+        app = design_switched_application(
+            name=name,
+            plant=plant.model,
+            period=plant.period,
+            et_delay=plant.period,
+            tt_delay=0.0,
+            q=plant.q,
+            r=plant.r,
+            threshold=plant.threshold,
+        )
+        assert app.et.is_stabilizing()
+        assert app.tt.is_stabilizing()

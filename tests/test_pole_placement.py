@@ -1,0 +1,66 @@
+"""Unit tests for repro.control.pole_placement."""
+
+import numpy as np
+import pytest
+
+from repro.control.pole_placement import (
+    PolePlacementError,
+    design_mode_controller_poles,
+    place_gain,
+)
+from repro.control.plants import servo_rig
+
+
+class TestPlaceGain:
+    def test_places_requested_poles(self):
+        a = np.array([[1.2, 0.3], [0.0, 0.8]])
+        b = np.array([[0.0], [1.0]])
+        poles = [0.5, 0.6]
+        gain = place_gain(a, b, poles)
+        placed = np.linalg.eigvals(a - b @ gain)
+        np.testing.assert_allclose(sorted(placed.real), [0.5, 0.6], atol=1e-8)
+
+    def test_complex_conjugate_pair(self):
+        a = np.array([[1.2, 0.3], [0.0, 0.8]])
+        b = np.array([[0.0], [1.0]])
+        poles = [0.7 * np.exp(0.4j), 0.7 * np.exp(-0.4j)]
+        gain = place_gain(a, b, poles)
+        placed = np.linalg.eigvals(a - b @ gain)
+        assert np.max(np.abs(placed)) == pytest.approx(0.7, abs=1e-8)
+
+    def test_rejects_unstable_request(self):
+        a, b = np.eye(2), np.array([[0.0], [1.0]])
+        with pytest.raises(PolePlacementError, match="unit circle"):
+            place_gain(a, b, [1.0, 0.5])
+
+    def test_rejects_wrong_count(self):
+        a, b = 0.5 * np.eye(2), np.array([[0.0], [1.0]])
+        with pytest.raises(PolePlacementError, match="exactly 2"):
+            place_gain(a, b, [0.5])
+
+    def test_rejects_unconjugated_complex(self):
+        a, b = 0.5 * np.eye(2), np.array([[0.0], [1.0]])
+        with pytest.raises(PolePlacementError, match="conjugation"):
+            place_gain(a, b, [0.5 + 0.1j, 0.5 + 0.2j])
+
+
+class TestDesignModeControllerPoles:
+    def test_augmented_poles_land_where_requested(self):
+        plant = servo_rig()
+        poles = [0.9, 0.7, 0.2]
+        controller = design_mode_controller_poles(
+            plant.model, period=plant.period, delay=plant.period, poles=poles
+        )
+        placed = np.linalg.eigvals(controller.closed_loop)
+        np.testing.assert_allclose(sorted(placed.real), sorted(poles), atol=1e-7)
+        assert controller.is_stabilizing()
+
+    def test_slower_than_lqr_floor_is_reachable(self):
+        """Pole placement can realise dominant poles slower than the
+        expensive-control LQR limit (the whole reason the module exists)."""
+        plant = servo_rig()
+        controller = design_mode_controller_poles(
+            plant.model, period=plant.period, delay=plant.period, poles=[0.99, 0.5, 0.1]
+        )
+        magnitudes = np.abs(np.linalg.eigvals(controller.closed_loop))
+        assert np.max(magnitudes) == pytest.approx(0.99, abs=1e-7)

@@ -1,0 +1,100 @@
+"""Stateful property test of the TT-slot arbiter (hypothesis).
+
+Drives the arbiter through random request/release/grant sequences and
+checks the structural invariants after every step:
+
+* at most one holder per slot;
+* the holder is never simultaneously queued as a requester;
+* non-preemption: a holder only changes after an explicit release;
+* grants always pick the highest-priority (earliest-deadline) requester.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.sim.arbiter import SlotClient, TTSlotArbiter
+
+CLIENTS = [("A", 1.0), ("B", 2.0), ("C", 3.0), ("D", 4.0), ("E", 5.0)]
+SLOTS = [0, 1]
+
+
+class ArbiterMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.arbiter = TTSlotArbiter()
+        self.slot_of = {}
+        for index, (name, deadline) in enumerate(CLIENTS):
+            slot = SLOTS[index % len(SLOTS)]
+            self.arbiter.register(SlotClient(name=name, deadline=deadline), slot)
+            self.slot_of[name] = slot
+        self.holders = {slot: None for slot in SLOTS}
+
+    @rule(index=st.integers(min_value=0, max_value=len(CLIENTS) - 1))
+    def request(self, index):
+        name = CLIENTS[index][0]
+        granted = self.arbiter.request(name)
+        slot = self.slot_of[name]
+        if granted:
+            assert self.holders[slot] in (None, name)
+            self.holders[slot] = name
+        else:
+            assert self.holders[slot] is not None
+            assert self.holders[slot] != name
+
+    @rule(index=st.integers(min_value=0, max_value=len(CLIENTS) - 1))
+    def release(self, index):
+        name = CLIENTS[index][0]
+        slot = self.slot_of[name]
+        was_holder = self.holders[slot] == name
+        self.arbiter.release(name)
+        if was_holder:
+            self.holders[slot] = None
+        # Releasing when not holding must change nothing.
+        assert self.arbiter.holder_of_slot(slot) == self.holders[slot]
+
+    @rule(index=st.integers(min_value=0, max_value=len(CLIENTS) - 1))
+    def withdraw(self, index):
+        name = CLIENTS[index][0]
+        self.arbiter.withdraw(name)
+        state = self.arbiter.slots[self.slot_of[name]]
+        assert all(c.name != name for c in state.requesters)
+
+    @rule()
+    def grant_pending(self):
+        # Snapshot the best-priority requester per free slot beforehand.
+        expectations = {}
+        for slot in SLOTS:
+            state = self.arbiter.slots.get(slot)
+            if state is None or state.holder is not None or not state.requesters:
+                continue
+            best = min(state.requesters, key=lambda c: c.priority_key)
+            expectations[slot] = best.name
+        granted = self.arbiter.grant_pending()
+        for slot, expected in expectations.items():
+            assert self.arbiter.holder_of_slot(slot) == expected
+            assert expected in granted
+            self.holders[slot] = expected
+
+    @invariant()
+    def holders_match_model(self):
+        if not hasattr(self, "arbiter"):
+            return
+        for slot in SLOTS:
+            assert self.arbiter.holder_of_slot(slot) == self.holders[slot]
+
+    @invariant()
+    def holder_never_queued(self):
+        if not hasattr(self, "arbiter"):
+            return
+        for slot, state in self.arbiter.slots.items():
+            if state.holder is not None:
+                assert all(
+                    c.name != state.holder.name for c in state.requesters
+                )
+
+
+TestArbiterStateMachine = ArbiterMachine.TestCase
+TestArbiterStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

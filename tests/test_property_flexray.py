@@ -1,0 +1,118 @@
+"""Property-based tests for the FlexRay dynamic-segment arbitration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flexray.dynamic_segment import DynamicSegment
+from repro.flexray.frame import FrameSpec, Message
+from repro.flexray.params import paper_bus_config
+from repro.flexray.timing import worst_case_et_delay
+
+
+@st.composite
+def message_batches(draw):
+    """A batch of pending messages with distinct frame IDs, all released
+    before the first dynamic segment."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=60),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=16, max_value=2048),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return [
+        Message(spec=FrameSpec(frame_id=i, payload_bits=s), release_time=0.0)
+        for i, s in zip(ids, sizes)
+    ]
+
+
+class TestDynamicSegmentProperties:
+    @given(batch=message_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_deliveries_within_segment_window(self, batch):
+        cfg = paper_bus_config()
+        segment = DynamicSegment(config=cfg)
+        for message in batch:
+            segment.enqueue(message)
+        delivered = segment.run_cycle(0)
+        start = cfg.dynamic_segment_start(0)
+        end = cfg.cycle_start(1)
+        for message in delivered:
+            assert start < message.delivery_time <= end + 1e-12
+
+    @given(batch=message_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_delivery_order_follows_frame_ids(self, batch):
+        segment = DynamicSegment(config=paper_bus_config())
+        for message in batch:
+            segment.enqueue(message)
+        delivered = segment.run_cycle(0)
+        ids = [m.spec.frame_id for m in delivered]
+        assert ids == sorted(ids)
+
+    @given(batch=message_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_transmissions_never_overlap(self, batch):
+        cfg = paper_bus_config()
+        segment = DynamicSegment(config=cfg)
+        for message in batch:
+            segment.enqueue(message)
+        delivered = segment.run_cycle(0)
+        previous_end = cfg.dynamic_segment_start(0)
+        for message in delivered:
+            slots = message.spec.minislots_needed(cfg.minislot_length, segment.bit_time)
+            start = message.delivery_time - slots * cfg.minislot_length
+            assert start >= previous_end - 1e-12
+            previous_end = message.delivery_time
+
+    @given(batch=message_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_every_message_eventually_delivered_or_oversized(self, batch):
+        cfg = paper_bus_config()
+        segment = DynamicSegment(config=cfg)
+        for message in batch:
+            segment.enqueue(message)
+        for cycle in range(64):
+            segment.run_cycle(cycle)
+            if segment.pending() == 0:
+                break
+        for message in batch:
+            own = message.spec.minislots_needed(cfg.minislot_length, segment.bit_time)
+            if own <= cfg.minislots:
+                assert message.delivered, f"frame {message.spec.frame_id} stuck"
+            else:
+                assert not message.delivered  # physically impossible frame
+
+    @given(batch=message_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_analytical_bound_dominates_simulation(self, batch):
+        cfg = paper_bus_config()
+        specs = [m.spec for m in batch]
+        segment = DynamicSegment(config=cfg)
+        for message in batch:
+            segment.enqueue(message)
+        for cycle in range(64):
+            segment.run_cycle(cycle)
+            if segment.pending() == 0:
+                break
+        for message in batch:
+            own = message.spec.minislots_needed(cfg.minislot_length, segment.bit_time)
+            if not message.delivered or own > cfg.minislots:
+                continue
+            others = [s for s in specs if s is not message.spec]
+            try:
+                bound = worst_case_et_delay(message.spec, others, cfg)
+            except ValueError:
+                continue  # structurally overloaded: no bound claimed
+            assert message.latency <= bound.worst_latency + 1e-12

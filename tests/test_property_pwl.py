@@ -1,0 +1,124 @@
+"""Property-based tests for the PWL dwell models (hypothesis).
+
+These pin the safety-critical invariants of Section III: fitted models
+must dominate the measurement for *every* curve shape, not just the ones
+we happened to measure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pwl import (
+    DwellCurve,
+    fit_concave_envelope,
+    fit_conservative_monotonic,
+    fit_two_segment,
+    two_segment,
+)
+
+
+@st.composite
+def dwell_curves(draw):
+    """Arbitrary measured dwell curves: non-negative dwell samples over a
+    strictly increasing wait grid starting at 0, ending near zero dwell."""
+    n = draw(st.integers(min_value=4, max_value=40))
+    period = draw(st.floats(min_value=0.005, max_value=0.1))
+    dwells = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    # Anchor: zero-wait dwell must be positive (a pure-TT response exists).
+    dwells[0] = draw(st.floats(min_value=0.05, max_value=10.0))
+    dwells[-1] = 0.0
+    waits = np.arange(n) * period
+    xi_et = float(waits[-1]) + period
+    return DwellCurve(waits=waits, dwells=np.asarray(dwells), xi_et=xi_et)
+
+
+class TestFitDomination:
+    @given(curve=dwell_curves())
+    @settings(max_examples=150, deadline=None)
+    def test_two_segment_fit_always_dominates(self, curve):
+        model = fit_two_segment(curve)
+        assert model.max_violation(curve) <= 1e-9
+
+    @given(curve=dwell_curves())
+    @settings(max_examples=150, deadline=None)
+    def test_conservative_monotonic_fit_always_dominates(self, curve):
+        model = fit_conservative_monotonic(curve)
+        assert model.max_violation(curve) <= 1e-9
+
+    @given(curve=dwell_curves())
+    @settings(max_examples=150, deadline=None)
+    def test_concave_envelope_always_dominates(self, curve):
+        model = fit_concave_envelope(curve)
+        assert model.max_violation(curve) <= 1e-9
+
+    @given(curve=dwell_curves())
+    @settings(max_examples=100, deadline=None)
+    def test_envelope_never_looser_than_monotonic(self, curve):
+        envelope = fit_concave_envelope(curve)
+        mono = fit_conservative_monotonic(curve)
+        grid = np.linspace(0.0, float(curve.waits[-1]), 31)
+        assert all(envelope.dwell(w) <= mono.dwell(w) + 1e-6 for w in grid)
+
+
+class TestModelEvaluation:
+    @given(
+        xi_tt=st.floats(min_value=0.01, max_value=5.0),
+        k_p_frac=st.floats(min_value=0.05, max_value=0.9),
+        peak_scale=st.floats(min_value=1.0, max_value=3.0),
+        xi_et=st.floats(min_value=0.5, max_value=50.0),
+        wait=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dwell_never_negative_and_bounded(
+        self, xi_tt, k_p_frac, peak_scale, xi_et, wait
+    ):
+        model = two_segment(
+            xi_tt=xi_tt,
+            k_p=k_p_frac * xi_et,
+            xi_m=peak_scale * xi_tt,
+            xi_et=xi_et,
+        )
+        dwell = model.dwell(wait)
+        assert 0.0 <= dwell <= model.max_dwell + 1e-12
+
+    @given(
+        xi_tt=st.floats(min_value=0.01, max_value=5.0),
+        k_p_frac=st.floats(min_value=0.05, max_value=0.9),
+        peak_scale=st.floats(min_value=1.0, max_value=3.0),
+        xi_et=st.floats(min_value=0.5, max_value=50.0),
+        max_wait=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_worst_response_is_supremum(
+        self, xi_tt, k_p_frac, peak_scale, xi_et, max_wait
+    ):
+        model = two_segment(
+            xi_tt=xi_tt,
+            k_p=k_p_frac * xi_et,
+            xi_m=peak_scale * xi_tt,
+            xi_et=xi_et,
+        )
+        worst = model.worst_response_time(max_wait)
+        grid = np.linspace(0.0, max_wait, 51)
+        empirical = max(w + model.dwell(w) for w in grid)
+        assert worst >= empirical - 1e-9
+
+    @given(
+        xi_tt=st.floats(min_value=0.01, max_value=5.0),
+        xi_et=st.floats(min_value=6.0, max_value=50.0),
+        w1=st.floats(min_value=0.0, max_value=60.0),
+        w2=st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_worst_response_monotone_in_wait(self, xi_tt, xi_et, w1, w2):
+        model = two_segment(xi_tt=xi_tt, k_p=1.0, xi_m=2 * xi_tt, xi_et=xi_et)
+        lo, hi = sorted((w1, w2))
+        assert model.worst_response_time(lo) <= model.worst_response_time(hi) + 1e-9

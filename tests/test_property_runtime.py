@@ -1,0 +1,99 @@
+"""Stateful property test of the switching runtime + arbiter together.
+
+Random sequences of norm observations drive several runtimes sharing one
+slot; invariants of the Figure 1 scheme are checked after every step:
+
+* at most one application holds the slot;
+* an application in TT_HOLDING actually holds the slot;
+* an application below threshold is never in TT_HOLDING after its update;
+* completed episodes have non-negative response times.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.sim.arbiter import TTSlotArbiter
+from repro.sim.runtime import CommState, SwitchingRuntime
+
+NAMES = ["A", "B", "C"]
+DEADLINES = {"A": 2.0, "B": 4.0, "C": 6.0}
+
+
+class RuntimeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.arbiter = TTSlotArbiter()
+        self.runtimes = {}
+        for name in NAMES:
+            runtime = SwitchingRuntime(
+                name=name,
+                threshold=0.1,
+                arbiter=self.arbiter,
+                deadline=DEADLINES[name],
+            )
+            self.arbiter.register(runtime.client(), slot=0)
+            self.runtimes[name] = runtime
+        self.time = 0.0
+        self.last_norm = {name: 0.0 for name in NAMES}
+
+    @rule(
+        norms=st.fixed_dictionaries(
+            {name: st.floats(min_value=0.0, max_value=2.0) for name in NAMES}
+        )
+    )
+    def sample_step(self, norms):
+        """One sampling instant: grant, then update every runtime."""
+        self.time += 0.02
+        self.arbiter.grant_pending()
+        for name in NAMES:
+            self.runtimes[name].update(self.time, norms[name])
+            self.last_norm[name] = norms[name]
+        # A release during the updates may free the slot for a waiter;
+        # mirror the co-simulator: grant and let the waiter observe it.
+        for name in self.arbiter.grant_pending():
+            self.runtimes[name].update(self.time, self.last_norm[name])
+
+    @invariant()
+    def at_most_one_holder(self):
+        if not hasattr(self, "arbiter"):
+            return
+        holders = [
+            name for name in NAMES if self.arbiter.holds(name)
+        ]
+        assert len(holders) <= 1
+
+    @invariant()
+    def tt_holding_implies_slot_held(self):
+        if not hasattr(self, "runtimes"):
+            return
+        for name, runtime in self.runtimes.items():
+            if runtime.state is CommState.TT_HOLDING:
+                assert self.arbiter.holds(name)
+            else:
+                assert not self.arbiter.holds(name)
+
+    @invariant()
+    def settled_apps_are_steady(self):
+        if not hasattr(self, "runtimes"):
+            return
+        for name, runtime in self.runtimes.items():
+            if self.last_norm[name] <= 0.1:
+                assert runtime.state is CommState.ET_STEADY
+
+    @invariant()
+    def episode_records_consistent(self):
+        if not hasattr(self, "runtimes"):
+            return
+        for runtime in self.runtimes.values():
+            for record in runtime.records:
+                if record.settled_at is not None:
+                    assert record.response_time >= 0.0
+                if record.granted_at is not None:
+                    assert record.granted_at >= record.arrival
+
+
+TestRuntimeStateMachine = RuntimeMachine.TestCase
+TestRuntimeStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=50, deadline=None
+)

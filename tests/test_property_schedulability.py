@@ -1,0 +1,105 @@
+"""Property-based tests for the wait-time fixed point (paper Sec. IV)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    UnschedulableError,
+    blocking_term,
+    interference_utilization,
+    max_wait_closed_form,
+    max_wait_fixed_point,
+    max_wait_lower_bound,
+)
+from repro.core.timing_params import TimingParameters
+
+
+@st.composite
+def applications(draw, index=0):
+    xi_tt = draw(st.floats(min_value=0.05, max_value=3.0))
+    xi_m = xi_tt * draw(st.floats(min_value=1.0, max_value=2.5))
+    xi_et = xi_m * draw(st.floats(min_value=1.5, max_value=5.0))
+    k_p = draw(st.floats(min_value=0.05, max_value=0.95)) * xi_et
+    deadline = draw(st.floats(min_value=0.5, max_value=30.0))
+    r = deadline * draw(st.floats(min_value=1.0, max_value=10.0))
+    params = TimingParameters(
+        name=f"P{index}",
+        min_inter_arrival=r,
+        deadline=deadline,
+        xi_tt=xi_tt,
+        xi_et=xi_et,
+        xi_m=xi_m,
+        k_p=k_p,
+        xi_m_mono=xi_m * draw(st.floats(min_value=1.0, max_value=2.0)),
+    )
+    return AnalyzedApplication.from_params(params)
+
+
+@st.composite
+def slot_configurations(draw):
+    n_higher = draw(st.integers(min_value=0, max_value=4))
+    n_lower = draw(st.integers(min_value=0, max_value=3))
+    higher = [draw(applications(index=i)) for i in range(n_higher)]
+    lower = [draw(applications(index=100 + i)) for i in range(n_lower)]
+    return lower, higher
+
+
+class TestFixedPointProperties:
+    @given(config=slot_configurations())
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_bracket_fixed_point(self, config):
+        """a/(1-m) <= k_hat < a'/(1-m) (paper Eqs. 20-21)."""
+        lower, higher = config
+        assume(interference_utilization(higher) < 0.95)
+        lo = max_wait_lower_bound(lower, higher)
+        hi = max_wait_closed_form(lower, higher)
+        exact = max_wait_fixed_point(lower, higher)
+        assert lo <= exact + 1e-9
+        assert exact <= hi + 1e-9
+
+    @given(config=slot_configurations())
+    @settings(max_examples=200, deadline=None)
+    def test_fixed_point_satisfies_eq5(self, config):
+        lower, higher = config
+        assume(interference_utilization(higher) < 0.95)
+        wait = max_wait_fixed_point(lower, higher)
+        rhs = blocking_term(lower) + sum(
+            math.ceil(wait / app.min_inter_arrival - 1e-12) * app.max_dwell
+            for app in higher
+        )
+        assert abs(wait - rhs) <= 1e-9 * max(1.0, wait)
+
+    @given(config=slot_configurations(), extra=applications(index=999))
+    @settings(max_examples=150, deadline=None)
+    def test_wait_monotone_in_interference(self, config, extra):
+        """Adding a higher-priority sharer can only increase the wait."""
+        lower, higher = config
+        assume(interference_utilization(higher + [extra]) < 0.95)
+        before = max_wait_fixed_point(lower, higher)
+        after = max_wait_fixed_point(lower, higher + [extra])
+        assert after >= before - 1e-9
+
+    @given(config=slot_configurations(), extra=applications(index=998))
+    @settings(max_examples=150, deadline=None)
+    def test_wait_monotone_in_blocking(self, config, extra):
+        """Adding a lower-priority sharer can only increase the wait."""
+        lower, higher = config
+        assume(interference_utilization(higher) < 0.95)
+        before = max_wait_fixed_point(lower, higher)
+        after = max_wait_fixed_point(lower + [extra], higher)
+        assert after >= before - 1e-9
+
+    @given(config=slot_configurations())
+    @settings(max_examples=100, deadline=None)
+    def test_overload_raises_consistently(self, config):
+        lower, higher = config
+        if interference_utilization(higher) >= 1.0:
+            for solver in (max_wait_closed_form, max_wait_fixed_point):
+                try:
+                    solver(lower, higher)
+                    raise AssertionError("expected UnschedulableError")
+                except UnschedulableError:
+                    pass

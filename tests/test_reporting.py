@@ -1,0 +1,52 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import numpy as np
+
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out
+        assert "2" in out
+
+    def test_booleans_render_as_yes_no(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_wide_cells_set_column_width(self):
+        out = format_table(["x"], [["a-very-long-cell-value"]])
+        header, divider, row = out.splitlines()
+        assert len(divider) >= len("a-very-long-cell-value")
+
+    def test_numpy_scalars(self):
+        out = format_table(["v"], [[np.float64(3.14159)], [np.int64(7)]])
+        assert "3.142" in out and "7" in out
+
+
+class TestFormatSeries:
+    def test_plot_dimensions(self):
+        xs = np.linspace(0, 1, 50)
+        ys = np.sin(xs * 3)
+        out = format_series(xs, ys, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 11  # header + grid
+        assert all(len(line) <= 40 for line in lines[1:])
+
+    def test_contains_points(self):
+        out = format_series([0, 1, 2], [1.0, 2.0, 1.0])
+        assert "*" in out
+
+    def test_empty_series(self):
+        assert format_series([], []) == "(empty series)"
+
+    def test_labels_in_header(self):
+        out = format_series([0, 1], [1, 2], x_label="kwait", y_label="kdw")
+        assert "kwait" in out and "kdw" in out

@@ -1,0 +1,73 @@
+"""Tests for the dwell-margin robustness analysis."""
+
+import pytest
+
+from repro.core.allocation import first_fit_allocation, make_analyzed
+from repro.core.robustness import (
+    dwell_margin,
+    scale_applications,
+    scale_dwell_model,
+    slot_dwell_margin,
+)
+from repro.core.schedulability import is_slot_schedulable
+from repro.core.timing_params import PAPER_TABLE_I
+
+
+@pytest.fixture(scope="module")
+def paper_allocation():
+    return first_fit_allocation(make_analyzed(PAPER_TABLE_I, "non-monotonic"))
+
+
+class TestScaling:
+    def test_scale_dwell_model(self):
+        apps = make_analyzed(PAPER_TABLE_I, "non-monotonic")
+        model = apps[0].dwell_model
+        doubled = scale_dwell_model(model, 2.0)
+        assert doubled.max_dwell == pytest.approx(2 * model.max_dwell)
+        assert doubled.xi_et == model.xi_et  # waits untouched
+
+    def test_scale_applications_preserves_params(self):
+        apps = make_analyzed(PAPER_TABLE_I, "non-monotonic")
+        scaled = scale_applications(apps, 1.5)
+        for original, new in zip(apps, scaled):
+            assert new.params is original.params
+            assert new.max_dwell == pytest.approx(1.5 * original.max_dwell)
+
+
+class TestSlotMargin:
+    def test_margin_is_a_boundary(self, paper_allocation):
+        slot = paper_allocation.slots[0]  # {C3, C6}
+        margin = slot_dwell_margin(slot)
+        assert margin > 1.0
+        assert is_slot_schedulable(scale_applications(slot, margin * 0.99))
+        assert not is_slot_schedulable(scale_applications(slot, margin * 1.05))
+
+    def test_single_app_slot_margin(self):
+        apps = make_analyzed(PAPER_TABLE_I, "non-monotonic")
+        c1 = next(a for a in apps if a.name == "C1")
+        # Alone: response = xi_tt * factor must stay below the deadline.
+        margin = slot_dwell_margin([c1])
+        assert margin == pytest.approx(c1.params.deadline / c1.params.xi_tt, rel=0.01)
+
+    def test_unschedulable_slot_reports_sub_unity(self):
+        apps = make_analyzed(PAPER_TABLE_I, "non-monotonic")
+        by = {a.name: a for a in apps}
+        # C3 + C2 + C6 on one slot is unschedulable (Section V).
+        margin = slot_dwell_margin([by["C3"], by["C6"], by["C2"]])
+        assert margin < 1.0
+
+
+class TestAllocationMargin:
+    def test_paper_allocation_has_headroom(self, paper_allocation):
+        result = dwell_margin(paper_allocation.slots)
+        assert result.margin > 1.0
+        assert len(result.slot_margins) == 3
+        assert result.margin == min(result.slot_margins)
+
+    def test_critical_slot_identified(self, paper_allocation):
+        result = dwell_margin(paper_allocation.slots)
+        assert result.slot_margins[result.critical_slot] == result.margin
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            dwell_margin([])

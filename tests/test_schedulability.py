@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.schedulability (paper Section IV)."""
+
+import math
+
+import pytest
+
+from repro.core.pwl import from_timing_parameters
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    UnschedulableError,
+    analyze_application,
+    analyze_slot,
+    blocking_term,
+    interference_utilization,
+    is_slot_schedulable,
+    max_wait_closed_form,
+    max_wait_fixed_point,
+    max_wait_lower_bound,
+    split_by_priority,
+)
+from repro.core.timing_params import PAPER_TABLE_I, TimingParameters
+
+
+def app(name, r, deadline, xi_tt=0.3, xi_et=3.0, xi_m=0.8, k_p=0.5, xi_m_mono=None):
+    if xi_m_mono is None:
+        xi_m_mono = 1.25 * xi_m
+    params = TimingParameters(
+        name=name,
+        min_inter_arrival=r,
+        deadline=deadline,
+        xi_tt=xi_tt,
+        xi_et=xi_et,
+        xi_m=xi_m,
+        k_p=k_p,
+        xi_m_mono=xi_m_mono,
+    )
+    return AnalyzedApplication.from_params(params)
+
+
+class TestUtilizationAndBlocking:
+    def test_interference_utilization(self):
+        apps = [app("A", 10.0, 5.0, xi_m=1.0), app("B", 20.0, 6.0, xi_m=2.0)]
+        assert interference_utilization(apps) == pytest.approx(1.0 / 10 + 2.0 / 20)
+
+    def test_blocking_is_max_dwell(self):
+        apps = [app("A", 10.0, 5.0, xi_m=1.0), app("B", 20.0, 6.0, xi_m=2.0)]
+        assert blocking_term(apps) == pytest.approx(2.0)
+
+    def test_blocking_empty_is_zero(self):
+        assert blocking_term([]) == 0.0
+
+
+class TestMaxWaitClosedForm:
+    def test_no_sharers_means_no_wait(self):
+        assert max_wait_closed_form([], []) == 0.0
+
+    def test_only_lower_priority_gives_blocking(self):
+        lower = [app("L", 10.0, 8.0, xi_m=1.5)]
+        assert max_wait_closed_form(lower, []) == pytest.approx(1.5)
+
+    def test_matches_paper_c6(self):
+        """k_hat_wait,6 = 0.64 / (1 - 0.64/15) = 0.669 (paper Sec. V)."""
+        table = {p.name: AnalyzedApplication.from_params(p) for p in PAPER_TABLE_I}
+        wait = max_wait_closed_form([], [table["C3"]])
+        assert wait == pytest.approx(0.669, abs=5e-4)
+
+    def test_overload_raises(self):
+        higher = [app("H", 1.0, 1.0, xi_m=0.8, xi_et=3.0, k_p=0.5, xi_m_mono=1.2)]
+        # m = 0.8/1.0 < 1 fine; push over with two apps
+        higher2 = higher + [app("H2", 1.0, 0.9, xi_m=0.5, xi_m_mono=0.9)]
+        with pytest.raises(UnschedulableError, match="m="):
+            max_wait_closed_form([], higher2)
+
+    def test_bounds_bracket_fixed_point(self):
+        lower = [app("L", 30.0, 20.0, xi_m=1.2)]
+        higher = [app("H1", 8.0, 4.0, xi_m=0.9), app("H2", 12.0, 5.0, xi_m=1.1)]
+        lo = max_wait_lower_bound(lower, higher)
+        hi = max_wait_closed_form(lower, higher)
+        exact = max_wait_fixed_point(lower, higher)
+        assert lo <= exact + 1e-9
+        assert exact <= hi + 1e-9
+
+
+class TestMaxWaitFixedPoint:
+    def test_fixed_point_satisfies_equation(self):
+        lower = [app("L", 30.0, 20.0, xi_m=1.2)]
+        higher = [app("H1", 8.0, 4.0, xi_m=0.9), app("H2", 12.0, 5.0, xi_m=1.1)]
+        wait = max_wait_fixed_point(lower, higher)
+        rhs = blocking_term(lower) + sum(
+            math.ceil(wait / h.min_inter_arrival - 1e-12) * h.max_dwell
+            for h in higher
+        )
+        assert wait == pytest.approx(rhs)
+
+    def test_no_interference_equals_blocking(self):
+        lower = [app("L", 10.0, 9.0, xi_m=2.0)]
+        assert max_wait_fixed_point(lower, []) == pytest.approx(2.0)
+
+    def test_never_exceeds_closed_form(self):
+        lower = [app("L", 40.0, 25.0, xi_m=2.0)]
+        higher = [app(f"H{i}", 5.0 + i, 3.0 + 0.1 * i, xi_m=0.4) for i in range(4)]
+        assert max_wait_fixed_point(lower, higher) <= max_wait_closed_form(
+            lower, higher
+        )
+
+
+class TestAnalyzeApplication:
+    def test_alone_on_slot_gets_tt_response(self):
+        single = app("A", 10.0, 5.0, xi_tt=0.3)
+        result = analyze_application(single, [])
+        assert result.max_wait == 0.0
+        assert result.worst_response == pytest.approx(0.3)
+        assert result.schedulable
+
+    def test_overloaded_slot_reports_infinity(self):
+        subject = app("A", 10.0, 9.0)
+        higher = [
+            app("H1", 1.0, 1.0, xi_m=0.6, xi_m_mono=0.9),
+            app("H2", 1.0, 0.9, xi_m=0.6, xi_m_mono=0.9),
+        ]
+        result = analyze_application(subject, higher)
+        assert math.isinf(result.worst_response)
+        assert not result.schedulable
+
+    def test_methods_agree_on_schedulability_direction(self):
+        """Closed form is an upper bound, so it can only be more
+        pessimistic than the exact fixed point."""
+        subject = app("A", 30.0, 9.0)
+        sharers = [app("H", 6.0, 3.0, xi_m=1.0), app("L", 40.0, 20.0, xi_m=2.0)]
+        closed = analyze_application(subject, sharers, method="closed-form")
+        exact = analyze_application(subject, sharers, method="fixed-point")
+        assert exact.worst_response <= closed.worst_response + 1e-9
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            analyze_application(app("A", 10.0, 5.0), [], method="oracle")
+
+
+class TestPriorities:
+    def test_split_by_deadline(self):
+        subject = app("M", 10.0, 5.0)
+        hi = app("H", 10.0, 2.0)
+        lo = app("L", 10.0, 8.0)
+        higher, lower = split_by_priority(subject, [lo, hi])
+        assert [a.name for a in higher] == ["H"]
+        assert [a.name for a in lower] == ["L"]
+
+    def test_deadline_tie_broken_by_name(self):
+        subject = app("B", 10.0, 5.0)
+        other = app("A", 10.0, 5.0)
+        higher, lower = split_by_priority(subject, [other])
+        assert [a.name for a in higher] == ["A"]
+        assert lower == []
+
+
+class TestSlotAnalysis:
+    def test_slot_schedulable_when_all_meet_deadlines(self):
+        apps = [app("A", 20.0, 8.0), app("B", 25.0, 10.0, xi_m=0.5)]
+        assert is_slot_schedulable(apps)
+        results = analyze_slot(apps)
+        assert {r.name for r in results} == {"A", "B"}
+
+    def test_slot_unschedulable_when_blocking_too_long(self):
+        tight = app("T", 5.0, 0.5, xi_tt=0.3, xi_m=0.4, k_p=0.2, xi_m_mono=0.5)
+        blocker = app("B", 50.0, 30.0, xi_m=5.0, xi_et=40.0, k_p=2.0, xi_m_mono=6.0)
+        assert not is_slot_schedulable([tight, blocker])

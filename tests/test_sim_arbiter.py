@@ -1,0 +1,104 @@
+"""Unit tests for the TT-slot arbiter."""
+
+import pytest
+
+from repro.sim.arbiter import SlotClient, TTSlotArbiter
+
+
+@pytest.fixture()
+def arbiter():
+    arb = TTSlotArbiter()
+    arb.register(SlotClient(name="A", deadline=2.0), slot=0)
+    arb.register(SlotClient(name="B", deadline=6.0), slot=0)
+    arb.register(SlotClient(name="C", deadline=4.0), slot=0)
+    arb.register(SlotClient(name="D", deadline=1.0), slot=1)
+    return arb
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self, arbiter):
+        with pytest.raises(ValueError, match="already registered"):
+            arbiter.register(SlotClient(name="A", deadline=9.0), slot=1)
+
+    def test_slot_lookup(self, arbiter):
+        assert arbiter.slot_of("A") == 0
+        assert arbiter.slot_of("D") == 1
+        with pytest.raises(KeyError):
+            arbiter.slot_of("Z")
+
+
+class TestGrantSemantics:
+    def test_free_slot_granted_immediately(self, arbiter):
+        assert arbiter.request("A") is True
+        assert arbiter.holds("A")
+        assert arbiter.holder_of_slot(0) == "A"
+
+    def test_busy_slot_queues_request(self, arbiter):
+        arbiter.request("B")
+        assert arbiter.request("A") is False
+        assert not arbiter.holds("A")
+
+    def test_no_preemption(self, arbiter):
+        """A lower-priority holder keeps the slot against a higher-priority
+        requester (the paper's non-preemption rule)."""
+        arbiter.request("B")  # deadline 6 (lowest priority)
+        arbiter.request("A")  # deadline 2 (highest)
+        arbiter.grant_pending()
+        assert arbiter.holds("B")
+        assert not arbiter.holds("A")
+
+    def test_release_then_priority_grant(self, arbiter):
+        arbiter.request("B")
+        arbiter.request("C")
+        arbiter.request("A")
+        arbiter.release("B")
+        granted = arbiter.grant_pending()
+        # A (deadline 2) beats C (deadline 4).
+        assert granted == ["A"]
+        assert arbiter.holds("A")
+
+    def test_release_is_not_instant_handover(self, arbiter):
+        arbiter.request("B")
+        arbiter.request("A")
+        arbiter.release("B")
+        # Before grant_pending the slot sits free.
+        assert arbiter.holder_of_slot(0) is None
+
+    def test_release_by_non_holder_is_noop(self, arbiter):
+        arbiter.request("B")
+        arbiter.release("A")
+        assert arbiter.holds("B")
+
+    def test_request_while_holding_is_true(self, arbiter):
+        arbiter.request("A")
+        assert arbiter.request("A") is True
+
+    def test_duplicate_queued_request_collapsed(self, arbiter):
+        arbiter.request("B")
+        arbiter.request("A")
+        arbiter.request("A")
+        state = arbiter.slots[0]
+        assert state.pending().count("A") == 1
+
+    def test_withdraw(self, arbiter):
+        arbiter.request("B")
+        arbiter.request("A")
+        arbiter.withdraw("A")
+        arbiter.release("B")
+        assert arbiter.grant_pending() == []
+
+    def test_slots_are_independent(self, arbiter):
+        arbiter.request("A")
+        assert arbiter.request("D") is True
+        assert arbiter.holds("A") and arbiter.holds("D")
+
+    def test_deadline_tie_broken_by_name(self):
+        arb = TTSlotArbiter()
+        arb.register(SlotClient(name="B", deadline=5.0), slot=0)
+        arb.register(SlotClient(name="A", deadline=5.0), slot=0)
+        arb.register(SlotClient(name="Z", deadline=9.0), slot=0)
+        arb.request("Z")
+        arb.request("B")
+        arb.request("A")
+        arb.release("Z")
+        assert arb.grant_pending() == ["A"]

@@ -1,0 +1,71 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda t: fired.append(("b", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        queue.schedule(3.0, lambda t: fired.append(("c", t)))
+        queue.run_until(10.0)
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_equal_times_fire_in_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for tag in "abc":
+            queue.schedule(1.0, lambda t, tag=tag: fired.append(tag))
+        queue.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_is_inclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append(t))
+        queue.schedule(1.0 + 1e-3, lambda t: fired.append(t))
+        queue.run_until(1.0)
+        assert fired == [1.0]
+        assert len(queue) == 1
+
+    def test_cancel(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda t: fired.append(t))
+        queue.cancel(handle)
+        queue.run_until(2.0)
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def recurring(t):
+            fired.append(t)
+            if t < 3.0:
+                queue.schedule(t + 1.0, recurring)
+
+        queue.schedule(1.0, recurring)
+        queue.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda t: None)
+        queue.run_until(5.0)
+        with pytest.raises(ValueError, match="past|current time"):
+            queue.schedule(2.0, lambda t: None)
+
+    def test_now_tracks_last_fire(self):
+        queue = EventQueue()
+        queue.schedule(1.5, lambda t: None)
+        queue.step()
+        assert queue.now == 1.5
+
+    def test_step_on_empty_returns_false(self):
+        assert EventQueue().step() is False

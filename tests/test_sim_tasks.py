@@ -1,0 +1,77 @@
+"""Unit tests for the task/ECU model."""
+
+import pytest
+
+from repro.sim.tasks import Ecu, PeriodicTask, simple_application_tasks
+
+
+class TestPeriodicTask:
+    def test_rejects_wcet_above_period(self):
+        with pytest.raises(ValueError, match="wcet"):
+            PeriodicTask(name="t", period=0.01, wcet=0.02)
+
+    def test_valid_task(self):
+        task = PeriodicTask(name="t", period=0.02, wcet=0.001, priority=1)
+        assert task.period == 0.02
+
+
+class TestEcu:
+    def test_utilization(self):
+        ecu = Ecu(name="e")
+        ecu.add_task(PeriodicTask(name="a", period=0.01, wcet=0.002))
+        ecu.add_task(PeriodicTask(name="b", period=0.02, wcet=0.004))
+        assert ecu.utilization() == pytest.approx(0.4)
+
+    def test_duplicate_task_names_rejected(self):
+        ecu = Ecu(name="e")
+        ecu.add_task(PeriodicTask(name="a", period=0.01, wcet=0.001))
+        with pytest.raises(ValueError, match="duplicate"):
+            ecu.add_task(PeriodicTask(name="a", period=0.02, wcet=0.001))
+
+    def test_highest_priority_response_is_wcet_plus_blocking(self):
+        ecu = Ecu(name="e")
+        hi = PeriodicTask(name="hi", period=0.01, wcet=0.001, priority=0)
+        lo = PeriodicTask(name="lo", period=0.02, wcet=0.004, priority=1)
+        ecu.add_task(hi)
+        ecu.add_task(lo)
+        assert ecu.response_time_bound(hi) == pytest.approx(0.001 + 0.004)
+
+    def test_lower_priority_suffers_interference(self):
+        ecu = Ecu(name="e")
+        hi = PeriodicTask(name="hi", period=0.01, wcet=0.002, priority=0)
+        lo = PeriodicTask(name="lo", period=0.05, wcet=0.003, priority=1)
+        ecu.add_task(hi)
+        ecu.add_task(lo)
+        response = ecu.response_time_bound(lo)
+        assert response >= 0.003 + 0.002  # at least one interference hit
+
+    def test_unassigned_task_rejected(self):
+        ecu = Ecu(name="e")
+        foreign = PeriodicTask(name="x", period=0.01, wcet=0.001)
+        with pytest.raises(ValueError, match="not assigned"):
+            ecu.response_time_bound(foreign)
+
+    def test_overload_detected(self):
+        ecu = Ecu(name="e")
+        hog = PeriodicTask(name="hog", period=0.01, wcet=0.009, priority=0)
+        victim = PeriodicTask(name="victim", period=0.012, wcet=0.005, priority=1)
+        ecu.add_task(hog)
+        ecu.add_task(victim)
+        with pytest.raises(ValueError, match="misses its period"):
+            ecu.response_time_bound(victim)
+
+
+class TestApplicationTasks:
+    def test_latencies_are_small_and_positive(self):
+        tasks = simple_application_tasks("C1", period=0.02)
+        release = tasks.release_latency()
+        actuation = tasks.actuation_latency()
+        assert 0 < release < 0.02
+        assert 0 < actuation < 0.02
+
+    def test_release_latency_covers_sense_and_control(self):
+        tasks = simple_application_tasks(
+            "C1", period=0.02, sensing_wcet=1e-4, control_wcet=3e-4
+        )
+        # Alone on the ECU: response = own WCET (+ blocking by the other).
+        assert tasks.release_latency() >= 4e-4

@@ -1,0 +1,102 @@
+"""Tests for background traffic and its effect on ET latency."""
+
+import pytest
+
+from repro.control.disturbance import OneShotDisturbance
+from repro.control.plants import servo_rig
+from repro.control.controller import design_switched_application
+from repro.flexray import FlexRayBus, FrameSpec, paper_bus_config
+from repro.sim import CoSimApplication, CoSimulator, FlexRayNetwork
+from repro.sim.runtime import CommState
+from repro.sim.traffic import BackgroundTraffic, TrafficStream, heavy_background_traffic
+
+
+class TestTrafficStream:
+    def test_releases_within_window(self):
+        stream = TrafficStream(spec=FrameSpec(frame_id=50), period=0.01, offset=0.002)
+        releases = stream.releases_between(0.0, 0.03)
+        assert releases == pytest.approx([0.002, 0.012, 0.022])
+
+    def test_window_is_half_open(self):
+        stream = TrafficStream(spec=FrameSpec(frame_id=50), period=0.01)
+        assert 0.02 not in stream.releases_between(0.0, 0.02)
+        assert 0.02 in stream.releases_between(0.02, 0.03)
+
+    def test_empty_before_offset(self):
+        stream = TrafficStream(spec=FrameSpec(frame_id=50), period=0.01, offset=1.0)
+        assert stream.releases_between(0.0, 0.5) == []
+
+
+class TestBackgroundTraffic:
+    def test_duplicate_ids_rejected(self):
+        traffic = BackgroundTraffic()
+        traffic.add(TrafficStream(spec=FrameSpec(frame_id=7), period=0.01))
+        with pytest.raises(ValueError, match="duplicate"):
+            traffic.add(TrafficStream(spec=FrameSpec(frame_id=7), period=0.02))
+
+    def test_messages_sorted_by_release(self):
+        traffic = heavy_background_traffic(count=3, period=0.005)
+        messages = traffic.messages_between(0.0, 0.02)
+        times = [m.release_time for m in messages]
+        assert times == sorted(times)
+        assert len(messages) == 3 * 4
+
+    def test_heavy_preset_ids_above_control(self):
+        traffic = heavy_background_traffic(count=4, first_frame_id=100)
+        assert all(f.frame_id >= 100 for f in traffic.frames)
+
+
+class TestTrafficInCoSim:
+    def _make_app(self, frame_id=1):
+        plant = servo_rig()
+        app = design_switched_application(
+            name="servo",
+            plant=plant.model,
+            period=plant.period,
+            et_delay=plant.period,
+            tt_delay=0.0007,
+            q=plant.q,
+            r=plant.r,
+            threshold=plant.threshold,
+        )
+        return CoSimApplication(
+            app=app,
+            dynamics=plant.model,
+            disturbance_state=plant.disturbance,
+            disturbances=OneShotDisturbance(time=0.0),
+            deadline=5.0,
+            slot=0,
+            frame=FrameSpec(frame_id=frame_id, sender="servo"),
+        )
+
+    def _raw_et_delays(self, traffic, frame_id=1):
+        network = FlexRayNetwork(
+            bus=FlexRayBus(config=paper_bus_config()), traffic=traffic
+        )
+        sim = CoSimulator([self._make_app(frame_id)], network, equalize_delays=False)
+        trace = sim.run(1.0)
+        servo = trace["servo"]
+        return [
+            d
+            for state, d in zip(servo.states, servo.delays[:-1])
+            if state is not CommState.TT_HOLDING
+        ]
+
+    def test_background_traffic_increases_et_latency(self):
+        # Control frame with a high ID so lower-ID background frames
+        # (higher priority) create real interference.
+        quiet = self._raw_et_delays(traffic=None, frame_id=40)
+        aggressive = heavy_background_traffic(
+            count=30, first_frame_id=2, period=0.005, payload_bits=512
+        )
+        busy = self._raw_et_delays(traffic=aggressive, frame_id=40)
+        assert max(busy) > max(quiet)
+
+    def test_deadline_still_met_under_load(self):
+        network = FlexRayNetwork(
+            bus=FlexRayBus(config=paper_bus_config()),
+            traffic=heavy_background_traffic(count=8, first_frame_id=100),
+        )
+        sim = CoSimulator([self._make_app()], network)
+        trace = sim.run(4.0)
+        assert trace.all_deadlines_met()

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.switching (paper Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.control.controller import design_switched_application
+from repro.control.plants import servo_rig
+from repro.core.switching import LinearSwitchedSystem, measure_dwell_curve
+
+
+@pytest.fixture(scope="module")
+def system():
+    plant = servo_rig()
+    app = design_switched_application(
+        name="servo",
+        plant=plant.model,
+        period=plant.period,
+        et_delay=plant.period,
+        tt_delay=0.0007,
+        q=plant.q,
+        r=plant.r,
+        threshold=plant.threshold,
+    )
+    return LinearSwitchedSystem.from_application(app, plant.disturbance)
+
+
+class TestLinearSwitchedSystem:
+    def test_state_after_zero_wait_is_x0(self, system):
+        np.testing.assert_allclose(system.state_after_wait(0), system.x0)
+
+    def test_state_after_wait_matches_eq3(self, system):
+        """x1[k] = A1^k x0 (paper Eq. 3)."""
+        k = 7
+        expected = np.linalg.matrix_power(system.a1, k) @ system.x0
+        np.testing.assert_allclose(system.state_after_wait(k), expected)
+
+    def test_switched_state_matches_eq4(self, system):
+        """x2[kwait, k] = A2^k A1^kwait x0 (paper Eq. 4)."""
+        kwait, k = 5, 3
+        switched = (
+            np.linalg.matrix_power(system.a2, k)
+            @ np.linalg.matrix_power(system.a1, kwait)
+            @ system.x0
+        )
+        via_api = np.linalg.matrix_power(system.a2, k) @ system.state_after_wait(kwait)
+        np.testing.assert_allclose(via_api, switched)
+
+    def test_pure_tt_equals_zero_wait_dwell(self, system):
+        assert system.pure_tt_response() == pytest.approx(system.dwell_time(0))
+
+    def test_tt_not_slower_than_et(self, system):
+        assert system.pure_tt_response() <= system.pure_et_response()
+
+    def test_response_decomposition(self, system):
+        k = 4
+        expected = k * system.period + system.dwell_time(k)
+        assert system.response_time(k) == pytest.approx(expected)
+
+    def test_rejects_unstable_a1(self, system):
+        with pytest.raises(ValueError, match="A1"):
+            LinearSwitchedSystem(
+                a1=1.5 * np.eye(system.a1.shape[0]),
+                a2=system.a2,
+                x0=system.x0,
+                threshold=system.threshold,
+                period=system.period,
+            )
+
+    def test_rejects_negative_wait(self, system):
+        with pytest.raises(ValueError):
+            system.state_after_wait(-1)
+
+
+class TestMeasureDwellCurve:
+    def test_curve_spans_et_response(self, system):
+        xi_et = system.pure_et_response()
+        curve = measure_dwell_curve(
+            system.response_source(),
+            pure_et_response=xi_et,
+            period=system.period,
+            wait_step=4,
+        )
+        assert curve.waits[0] == 0.0
+        assert curve.waits[-1] >= xi_et - 4 * system.period
+        assert curve.xi_tt == pytest.approx(system.pure_tt_response())
+
+    def test_dwell_is_zero_at_the_end(self, system):
+        xi_et = system.pure_et_response()
+        curve = measure_dwell_curve(
+            system.response_source(),
+            pure_et_response=xi_et,
+            period=system.period,
+            wait_step=2,
+        )
+        assert curve.dwells[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_wait_step_controls_resolution(self, system):
+        xi_et = system.pure_et_response()
+        fine = measure_dwell_curve(
+            system.response_source(), xi_et, system.period, wait_step=2
+        )
+        coarse = measure_dwell_curve(
+            system.response_source(), xi_et, system.period, wait_step=8
+        )
+        assert fine.waits.size > coarse.waits.size
+
+    def test_rejects_zero_step(self, system):
+        with pytest.raises(ValueError):
+            measure_dwell_curve(
+                system.response_source(), 1.0, system.period, wait_step=0
+            )

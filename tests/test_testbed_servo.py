@@ -1,0 +1,118 @@
+"""Tests for the nonlinear servo-rig testbed (the Figure 2 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import (
+    NonlinearServoRig,
+    ServoRigConfig,
+    default_servo_testbed,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return default_servo_testbed()
+
+
+class TestServoRigConfig:
+    def test_defaults_match_paper(self):
+        cfg = ServoRigConfig()
+        assert cfg.period == pytest.approx(0.020)
+        assert cfg.tt_delay == pytest.approx(0.0007)
+        assert cfg.et_delay == pytest.approx(0.020)
+        assert cfg.threshold == pytest.approx(0.1)
+        assert cfg.disturbance_angle == pytest.approx(np.deg2rad(45.0))
+        assert cfg.mass == pytest.approx(0.3)  # the paper's 300 g load
+
+    def test_inertia(self):
+        cfg = ServoRigConfig(mass=2.0, length=0.5)
+        assert cfg.inertia == pytest.approx(0.5)
+
+    def test_rejects_bad_delay_ordering(self):
+        with pytest.raises(ValueError, match="tt_delay < et_delay"):
+            ServoRigConfig(tt_delay=0.02, et_delay=0.01)
+
+    def test_rejects_tiny_encoder(self):
+        with pytest.raises(ValueError, match="encoder_counts"):
+            ServoRigConfig(encoder_counts=4)
+
+
+class TestNonlinearServoRig:
+    def test_free_fall_from_tilt(self):
+        """Without torque the inverted stick falls away from upright."""
+        rig = NonlinearServoRig(ServoRigConfig())
+        rig.reset(0.3, 0.0)
+        rig.advance(0.2, torque=0.0)
+        theta, omega = rig.state
+        assert theta > 0.3
+        assert omega > 0.0
+
+    def test_equilibrium_stays_put(self):
+        rig = NonlinearServoRig(ServoRigConfig())
+        rig.reset(0.0, 0.0)
+        rig.advance(1.0, torque=0.0)
+        np.testing.assert_allclose(rig.state, [0.0, 0.0], atol=1e-12)
+
+    def test_torque_saturation(self):
+        cfg = ServoRigConfig(max_torque=2.0)
+        rig = NonlinearServoRig(cfg)
+        assert rig.saturate(5.0) == 2.0
+        assert rig.saturate(-5.0) == -2.0
+        assert rig.saturate(1.5) == 1.5
+
+    def test_encoder_quantisation(self):
+        cfg = ServoRigConfig(encoder_counts=1024)
+        rig = NonlinearServoRig(cfg)
+        rig.reset(0.1234, 0.0)
+        measured = rig.measure()
+        resolution = 2 * np.pi / 1024
+        assert measured[0] == pytest.approx(
+            round(0.1234 / resolution) * resolution
+        )
+        assert measured[0] != rig.state[0]
+
+    def test_zero_duration_is_noop(self):
+        rig = NonlinearServoRig(ServoRigConfig())
+        rig.reset(0.2, 0.1)
+        before = rig.state
+        rig.advance(0.0, torque=1.0)
+        np.testing.assert_allclose(rig.state, before)
+
+    def test_negative_duration_rejected(self):
+        rig = NonlinearServoRig(ServoRigConfig())
+        with pytest.raises(ValueError):
+            rig.advance(-0.1, torque=0.0)
+
+
+class TestDefaultTestbed:
+    def test_tt_response_matches_paper(self, testbed):
+        """Pure-TT settling time: paper measures 0.68 s."""
+        assert testbed.response_time(0) == pytest.approx(0.68, abs=0.05)
+
+    def test_et_response_matches_paper(self, testbed):
+        """Pure-ET settling time: paper measures 2.16 s."""
+        xi_et = testbed.response_time(10**6, max_samples=400)
+        assert xi_et == pytest.approx(2.16, abs=0.15)
+
+    def test_dwell_relation_is_non_monotonic(self, testbed):
+        """The headline phenomenon (Fig. 3): some interior wait time needs
+        a longer dwell than switching immediately."""
+        dwell0 = testbed.response_time(0)
+        waits = range(3, 40, 3)
+        dwells = [
+            testbed.response_time(k, max_samples=400) - k * testbed.config.period
+            for k in waits
+        ]
+        assert max(dwells) > dwell0 + 0.05
+
+    def test_dwell_vanishes_beyond_et_settling(self, testbed):
+        xi_et = testbed.response_time(10**6, max_samples=400)
+        wait_samples = int(xi_et / testbed.config.period) + 10
+        response = testbed.response_time(wait_samples, max_samples=400)
+        dwell = response - wait_samples * testbed.config.period
+        assert dwell <= 0.0 + 1e-9
+
+    def test_unsettled_run_raises(self, testbed):
+        with pytest.raises(RuntimeError, match="did not settle"):
+            testbed.response_time(10**6, max_samples=20)

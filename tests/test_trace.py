@@ -1,0 +1,103 @@
+"""Unit tests for the trace recording utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sim.runtime import CommState
+from repro.sim.trace import AppTrace, SimulationTrace
+
+
+def make_trace(states=None, norms=None, threshold=0.1, deadline=1.0):
+    trace = AppTrace(name="app", threshold=threshold, deadline=deadline)
+    states = states or [CommState.ET_STEADY] * 5
+    norms = norms if norms is not None else [1.0, 0.5, 0.2, 0.05, 0.01]
+    for k, (norm, state) in enumerate(zip(norms, states)):
+        trace.append(k * 0.1, norm, state, 0.02)
+    return trace
+
+
+class TestAppTrace:
+    def test_tt_intervals_single_block(self):
+        states = [
+            CommState.WAITING,
+            CommState.TT_HOLDING,
+            CommState.TT_HOLDING,
+            CommState.ET_STEADY,
+            CommState.ET_STEADY,
+        ]
+        trace = make_trace(states=states)
+        intervals = trace.tt_intervals()
+        assert len(intervals) == 1
+        assert intervals[0] == pytest.approx((0.1, 0.3))
+
+    def test_tt_interval_open_at_end(self):
+        states = [CommState.ET_STEADY, CommState.ET_STEADY, CommState.TT_HOLDING]
+        trace = make_trace(states=states, norms=[1.0, 0.5, 0.3])
+        intervals = trace.tt_intervals()
+        assert len(intervals) == 1
+        assert intervals[0] == pytest.approx((0.2, 0.2))
+
+    def test_multiple_tt_intervals(self):
+        states = [
+            CommState.TT_HOLDING,
+            CommState.ET_STEADY,
+            CommState.TT_HOLDING,
+            CommState.TT_HOLDING,
+            CommState.ET_STEADY,
+        ]
+        trace = make_trace(states=states)
+        intervals = trace.tt_intervals()
+        assert len(intervals) == 2
+        assert intervals[0] == pytest.approx((0.0, 0.1))
+        assert intervals[1] == pytest.approx((0.2, 0.4))
+
+    def test_settling_time(self):
+        trace = make_trace()
+        assert trace.settling_time() == pytest.approx(0.3)
+
+    def test_settling_none_when_ends_above(self):
+        trace = make_trace(norms=[1.0, 0.5, 0.3, 0.2, 0.15])
+        assert trace.settling_time() is None
+
+    def test_deadline_met(self):
+        trace = make_trace()
+        trace.response_times = [0.5, 0.9]
+        assert trace.deadline_met()
+        trace.response_times = [0.5, 1.2]
+        assert not trace.deadline_met()
+
+    def test_ascii_plot_contains_markers(self):
+        states = [CommState.TT_HOLDING] * 2 + [CommState.ET_STEADY] * 3
+        trace = make_trace(states=states)
+        art = trace.ascii_plot(width=20, height=6)
+        assert "#" in art and "*" in art and "-" in art
+
+    def test_max_delay(self):
+        trace = make_trace()
+        assert trace.max_delay() == pytest.approx(0.02)
+
+
+class TestSimulationTrace:
+    def test_duplicate_names_rejected(self):
+        sim = SimulationTrace()
+        sim.add(make_trace())
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.add(make_trace())
+
+    def test_all_deadlines_met(self):
+        sim = SimulationTrace()
+        good = make_trace()
+        good.response_times = [0.4]
+        sim.add(good)
+        assert sim.all_deadlines_met()
+
+    def test_summary_rows_sorted_and_complete(self):
+        sim = SimulationTrace()
+        for name in ("zeta", "alpha"):
+            trace = make_trace()
+            trace.name = name
+            trace.response_times = [0.2]
+            sim.add(trace)
+        rows = sim.summary_rows()
+        assert [row["app"] for row in rows] == ["alpha", "zeta"]
+        assert all(row["worst_response"] == 0.2 for row in rows)
