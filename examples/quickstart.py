@@ -1,46 +1,52 @@
-"""Quickstart: reproduce the paper's Section V case study in a few lines.
+"""Quickstart: reproduce the paper's Section V case study via the
+scenario pipeline.
 
-The six Table I applications are packed onto shared FlexRay TT slots
-twice — once with the paper's non-monotonic dwell model and once with
-prior work's conservative monotonic model — and the resource usage is
-compared.  Expected output: 3 slots vs 5 slots (+67 %).
+One declarative :class:`repro.Scenario` describes the whole design
+chain; :class:`repro.DesignStudy` executes it as named stages and
+returns a structured, JSON-serializable :class:`repro.StudyResult`.
+The registry already knows the paper's setups, so reproducing the
+headline result — 3 shared TT slots with the non-monotonic dwell model
+against 5 with the conservative monotonic one (+67 %) — is three lines.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    PAPER_TABLE_I,
-    analyze_application,
-    compare_resource_usage,
-    first_fit_allocation,
-    make_analyzed,
-)
+from repro import DesignStudy, StudyResult, get_scenario, run_many
 
 
 def main() -> None:
-    # 1. Wrap the Table I timing parameters with each dwell-model shape.
-    non_monotonic = make_analyzed(PAPER_TABLE_I, "non-monotonic")
-    monotonic = make_analyzed(PAPER_TABLE_I, "conservative-monotonic")
+    # 1. Run the paper's Table I scenario through the full pipeline.
+    study = DesignStudy(get_scenario("paper-table1")).run()
+    print(study.summary())
 
-    # 2. Pack applications onto the minimum number of shared TT slots.
-    alloc_nm = first_fit_allocation(non_monotonic)
-    alloc_mono = first_fit_allocation(monotonic)
-
-    print("non-monotonic model :", alloc_nm.slot_names)
-    print("monotonic model     :", alloc_mono.slot_names)
-    extra = compare_resource_usage(alloc_nm, alloc_mono)
-    print(f"monotonic model needs {100 * extra:.0f}% more TT slots")
-
-    # 3. Inspect one worst-case analysis: C6 sharing a slot with C3.
-    by_name = {app.name: app for app in non_monotonic}
-    result = analyze_application(by_name["C6"], [by_name["C3"]])
+    # 2. Compare against prior work's conservative monotonic model.
+    monotonic = DesignStudy(get_scenario("paper-table1-monotonic")).run()
+    extra = monotonic.slot_count / study.slot_count - 1.0
     print(
-        f"C6 sharing with C3: max wait {result.max_wait:.3f}s, "
-        f"worst response {result.worst_response:.3f}s "
-        f"(deadline {result.deadline}s, schedulable={result.schedulable})"
+        f"\nnon-monotonic model : {study.slot_count} TT slots"
+        f"\nmonotonic model     : {monotonic.slot_count} TT slots"
+        f"\nmonotonic model needs {100 * extra:.0f}% more TT slots"
     )
+
+    # 3. Results are data: JSON out, JSON back in, losslessly.
+    wire = study.to_json()
+    restored = StudyResult.from_json(wire)
+    assert restored == study
+    allocation = restored.artifact("allocate")
+    print(f"\nslot contents (from JSON): {allocation['slots']}")
+
+    # 4. Batch mode: sweep variants in parallel with a shared dwell cache.
+    sweep = run_many(
+        [
+            get_scenario("paper-table1-optimal"),
+            get_scenario("paper-table1-dedicated"),
+            get_scenario("paper-table1-fixed-point"),
+        ]
+    )
+    for result in sweep:
+        print(f"{result.scenario.name:28s} -> {result.slot_count} TT slots")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,12 @@ The library implements the paper's complete stack:
   (Figure 1 runtime, Figure 5 evaluation);
 * :mod:`repro.baselines` — comparison analyses (CAN RTA, monotonic models,
   dedicated slots);
-* :mod:`repro.experiments` — drivers regenerating every table and figure.
+* :mod:`repro.pipeline` — the declarative scenario API: ``Scenario`` in,
+  ``DesignStudy`` runs the chain as named stages, structured
+  JSON-serializable ``StudyResult`` out, with a registry of the paper's
+  setups and a parallel batch executor;
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  (thin wrappers over the pipeline).
 
 Quickstart::
 
@@ -25,6 +30,13 @@ Quickstart::
     apps = make_analyzed(PAPER_TABLE_I, "non-monotonic")
     allocation = first_fit_allocation(apps)
     print(allocation.slot_names)   # [['C3', 'C6'], ['C2', 'C4'], ['C5', 'C1']]
+
+or, declaratively::
+
+    from repro import DesignStudy, get_scenario
+
+    study = DesignStudy(get_scenario("paper-table1")).run()
+    print(study.slot_count)        # 3
 """
 
 from repro.core import (
@@ -76,6 +88,18 @@ from repro.control import (
     settling_time,
 )
 from repro.flexray import FlexRayBus, FlexRayConfig, FrameSpec, paper_bus_config
+from repro.pipeline import (
+    BusSpec,
+    DesignStudy,
+    DwellCurveCache,
+    Scenario,
+    StudyResult,
+    get_scenario,
+    run_many,
+    run_study,
+    scenario_grid,
+    scenario_names,
+)
 from repro.sim import (
     AnalyticNetwork,
     CoSimApplication,
@@ -92,11 +116,14 @@ __all__ = [
     "AllocationResult",
     "AnalyticNetwork",
     "AnalyzedApplication",
+    "BusSpec",
     "CoSimApplication",
     "CoSimulator",
     "ContinuousStateSpace",
     "DelayedStateSpace",
+    "DesignStudy",
     "DwellCurve",
+    "DwellCurveCache",
     "FlexRayBus",
     "FlexRayConfig",
     "FlexRayNetwork",
@@ -105,9 +132,11 @@ __all__ = [
     "PAPER_TABLE_I",
     "PlantDefinition",
     "PwlDwellModel",
+    "Scenario",
     "ServoRigConfig",
     "ServoTestbed",
     "SimulationTrace",
+    "StudyResult",
     "SwitchedApplication",
     "TTSlotArbiter",
     "TimingParameters",
@@ -132,6 +161,7 @@ __all__ = [
     "fit_conservative_monotonic",
     "fit_two_segment",
     "from_timing_parameters",
+    "get_scenario",
     "is_slot_schedulable",
     "make_analyzed",
     "make_plant",
@@ -142,6 +172,10 @@ __all__ = [
     "paper_application",
     "paper_bus_config",
     "priority_order",
+    "run_many",
+    "run_study",
+    "scenario_grid",
+    "scenario_names",
     "servo_rig",
     "settling_time",
     "simple_monotonic",

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro fig3 [--wait-step N]
+    python -m repro fig3 [--wait-step N] [--json]
     python -m repro fig4
     python -m repro table1 [--paper-only]
     python -m repro allocation [--simulated]
@@ -10,11 +10,19 @@ Usage::
     python -m repro ablations [--which segments|fixed-point|threshold|all]
     python -m repro validate [--seeds N]
     python -m repro sensitivity [--scales 0.5 1.0 2.0]
+    python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--list]
+
+Every command accepts ``--json`` to emit machine-readable results
+instead of ASCII reports; ``study`` runs declarative
+:mod:`repro.pipeline` scenarios and prints
+:class:`~repro.pipeline.result.StudyResult` documents that round-trip
+through ``StudyResult.from_json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -36,59 +44,87 @@ from repro.experiments import (
     run_threshold_sweep,
 )
 from repro.experiments.reporting import format_table
+from repro.pipeline.serialize import to_jsonable
+
+# Each command handler returns ``(text, data)``: the classic ASCII report
+# and a structure for ``--json`` (serialised via ``to_jsonable``).
 
 
-def _cmd_fig1(args) -> str:
-    return run_fig1().report()
+def _wait_step(args) -> int:
+    """Effective dwell-sweep stride (flag left unset means 2)."""
+    return 2 if args.wait_step is None else args.wait_step
 
 
-def _cmd_fig3(args) -> str:
-    return run_fig3(wait_step=args.wait_step).report()
+def _cmd_fig1(args):
+    result = run_fig1()
+    return result.report(), result
 
 
-def _cmd_fig4(args) -> str:
-    return run_fig4(wait_step=args.wait_step).report()
+def _cmd_fig3(args):
+    result = run_fig3(wait_step=_wait_step(args))
+    return result.report(), result
 
 
-def _cmd_table1(args) -> str:
+def _cmd_fig4(args):
+    result = run_fig4(wait_step=_wait_step(args))
+    return result.report(), result
+
+
+def _cmd_table1(args):
     result = run_table1(
-        include_simulation=not args.paper_only, wait_step=args.wait_step
+        include_simulation=not args.paper_only, wait_step=_wait_step(args)
     )
-    return result.report() if not args.paper_only else result.paper_report()
+    text = result.paper_report() if args.paper_only else result.report()
+    return text, result
 
 
-def _cmd_allocation(args) -> str:
-    out = [run_paper_allocation().report()]
+def _cmd_allocation(args):
+    paper = run_paper_allocation()
+    texts = [paper.report()]
+    data = {"paper": paper, "simulated": None}
     if args.simulated:
-        out.append(run_simulation_allocation(wait_step=args.wait_step).report())
-    return "\n\n".join(out)
+        simulated = run_simulation_allocation(wait_step=_wait_step(args))
+        texts.append(simulated.report())
+        data["simulated"] = simulated
+    return "\n\n".join(texts), data
 
 
-def _cmd_fig5(args) -> str:
-    result = run_fig5(use_flexray=not args.analytic, wait_step=args.wait_step)
-    return result.report(plots=args.plots)
+def _cmd_fig5(args):
+    result = run_fig5(use_flexray=not args.analytic, wait_step=_wait_step(args))
+    data = {
+        "slot_names": result.slot_names,
+        "all_deadlines_met": result.all_deadlines_met(),
+        "summary": result.trace.summary_rows(),
+    }
+    return result.report(plots=args.plots), data
 
 
-def _cmd_ablations(args) -> str:
-    out = []
+def _cmd_ablations(args):
+    texts = []
+    data = {}
     if args.which in ("segments", "all"):
-        out.append(run_segment_ablation(wait_step=args.wait_step).report())
+        data["segments"] = run_segment_ablation(wait_step=_wait_step(args))
+        texts.append(data["segments"].report())
     if args.which in ("fixed-point", "all"):
-        out.append(run_fixed_point_ablation().report())
+        data["fixed_point"] = run_fixed_point_ablation()
+        texts.append(data["fixed_point"].report())
     if args.which in ("threshold", "all"):
-        out.append(run_threshold_sweep().report())
+        data["threshold"] = run_threshold_sweep()
+        texts.append(data["threshold"].report())
     if args.which in ("jitter", "all"):
-        out.append(run_jitter_ablation(wait_step=args.wait_step).report())
-    return "\n\n".join(out)
+        data["jitter"] = run_jitter_ablation(wait_step=_wait_step(args))
+        texts.append(data["jitter"].report())
+    return "\n\n".join(texts), data
 
 
-def _cmd_validate(args) -> str:
-    bound = run_bound_validation(seeds=args.seeds, wait_step=args.wait_step)
-    pure = run_pure_et_baseline(wait_step=args.wait_step)
-    return bound.report() + "\n\n" + pure.report()
+def _cmd_validate(args):
+    bound = run_bound_validation(seeds=args.seeds, wait_step=_wait_step(args))
+    pure = run_pure_et_baseline(wait_step=_wait_step(args))
+    data = {"bound_validation": bound, "pure_et_baseline": pure}
+    return bound.report() + "\n\n" + pure.report(), data
 
 
-def _cmd_sensitivity(args) -> str:
+def _cmd_sensitivity(args):
     points = deadline_sensitivity(PAPER_TABLE_I, args.scales)
     rows = [
         [
@@ -98,26 +134,63 @@ def _cmd_sensitivity(args) -> str:
         ]
         for p in points
     ]
-    return "Deadline-tightness sensitivity (paper Table I)\n" + format_table(
+    text = "Deadline-tightness sensitivity (paper Table I)\n" + format_table(
         ["scale", "slots (non-monotonic)", "slots (monotonic)"], rows
     )
+    return text, points
 
 
-def _cmd_all(args) -> str:
+def _cmd_study(args):
+    from repro.pipeline import get_scenario, run_many, scenario_grid, scenarios
+
+    if args.list:
+        registered = scenarios()
+        text = "Registered scenarios\n" + format_table(
+            ["name", "source", "description"],
+            [[s.name, s.source, s.description] for s in registered],
+        )
+        return text, {s.name: s.to_dict() for s in registered}
+
+    try:
+        selected = [
+            get_scenario(name) for name in (args.scenario or ["paper-table1"])
+        ]
+    except KeyError as exc:
+        # surface unknown names as a domain error, not a traceback
+        raise ValueError(exc.args[0]) from None
+    if args.wait_step is not None:
+        selected = [
+            s.derive(name=s.name, wait_step=_wait_step(args)) for s in selected
+        ]
+    if args.grid:
+        selected = [point for s in selected for point in scenario_grid(s)]
+    results = run_many(selected, max_workers=args.jobs)
+    text = "\n\n".join(result.summary() for result in results)
+    data = results[0].to_dict() if len(results) == 1 else [r.to_dict() for r in results]
+    return text, data
+
+
+def _cmd_all(args):
     """Regenerate every artefact in one pass (paper-exact parts first)."""
     sections = [
-        _cmd_allocation(args),
-        _cmd_table1(args),
-        _cmd_fig1(args),
-        _cmd_fig3(args),
-        _cmd_fig4(args),
-        _cmd_fig5(args),
-        _cmd_ablations(args),
-        _cmd_validate(args),
-        _cmd_sensitivity(args),
+        ("allocation", _cmd_allocation),
+        ("table1", _cmd_table1),
+        ("fig1", _cmd_fig1),
+        ("fig3", _cmd_fig3),
+        ("fig4", _cmd_fig4),
+        ("fig5", _cmd_fig5),
+        ("ablations", _cmd_ablations),
+        ("validate", _cmd_validate),
+        ("sensitivity", _cmd_sensitivity),
     ]
+    texts = []
+    data = {}
+    for name, command in sections:
+        text, section_data = command(args)
+        texts.append(text)
+        data[name] = section_data
     rule = "\n" + "=" * 72 + "\n"
-    return rule.join(sections)
+    return rule.join(texts), data
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,41 +201,91 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--wait-step",
         type=int,
-        default=2,
+        default=None,
         help="dwell-sweep stride in samples (higher = faster, coarser)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        default=False,
+        help="emit machine-readable JSON instead of ASCII reports",
+    )
+    # The same flags are accepted after the subcommand (the documented
+    # position); SUPPRESS keeps the subparser from clobbering top-level
+    # values when the flag is omitted there.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--wait-step", type=int, default=argparse.SUPPRESS)
+    common.add_argument("--json", action="store_true", default=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("fig1", help="Figure 1: scheme state-machine demonstration")
-    sub.add_parser("fig3", help="Figure 3: dwell/wait relation on the servo rig")
-    sub.add_parser("fig4", help="Figure 4: PWL dwell models")
+    sub.add_parser(
+        "fig1", parents=[common], help="Figure 1: scheme state-machine demonstration"
+    )
+    sub.add_parser(
+        "fig3", parents=[common], help="Figure 3: dwell/wait relation on the servo rig"
+    )
+    sub.add_parser("fig4", parents=[common], help="Figure 4: PWL dwell models")
 
-    p_table = sub.add_parser("table1", help="Table I timing parameters")
+    p_table = sub.add_parser(
+        "table1", parents=[common], help="Table I timing parameters"
+    )
     p_table.add_argument("--paper-only", action="store_true")
 
-    p_alloc = sub.add_parser("allocation", help="Section V slot allocation")
+    p_alloc = sub.add_parser(
+        "allocation", parents=[common], help="Section V slot allocation"
+    )
     p_alloc.add_argument("--simulated", action="store_true")
 
-    p_fig5 = sub.add_parser("fig5", help="Figure 5 co-simulation")
+    p_fig5 = sub.add_parser("fig5", parents=[common], help="Figure 5 co-simulation")
     p_fig5.add_argument("--plots", action="store_true")
     p_fig5.add_argument("--analytic", action="store_true")
 
-    p_abl = sub.add_parser("ablations", help="E6-E8 ablations")
+    p_abl = sub.add_parser("ablations", parents=[common], help="E6-E8 ablations")
     p_abl.add_argument(
         "--which",
         choices=["segments", "fixed-point", "threshold", "jitter", "all"],
         default="all",
     )
 
-    p_val = sub.add_parser("validate", help="E9-E10 soundness validation")
+    p_val = sub.add_parser(
+        "validate", parents=[common], help="E9-E10 soundness validation"
+    )
     p_val.add_argument("--seeds", type=int, default=5)
 
-    p_sens = sub.add_parser("sensitivity", help="deadline-tightness sweep")
+    p_sens = sub.add_parser(
+        "sensitivity", parents=[common], help="deadline-tightness sweep"
+    )
     p_sens.add_argument(
         "--scales", type=float, nargs="+", default=[0.5, 0.75, 1.0, 1.5, 2.0]
     )
 
-    p_all = sub.add_parser("all", help="regenerate every artefact in one pass")
+    p_study = sub.add_parser(
+        "study",
+        parents=[common],
+        help="run declarative pipeline scenarios (see --list)",
+    )
+    p_study.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="registered scenario name (repeatable; default paper-table1)",
+    )
+    p_study.add_argument(
+        "--grid",
+        action="store_true",
+        help="expand each scenario into the default sweep grid "
+        "(deadline scales x dwell shapes x allocators)",
+    )
+    p_study.add_argument(
+        "--jobs", type=int, default=None, help="parallel workers for the sweep"
+    )
+    p_study.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+
+    p_all = sub.add_parser(
+        "all", parents=[common], help="regenerate every artefact in one pass"
+    )
     p_all.add_argument("--paper-only", action="store_true")
     p_all.add_argument("--simulated", action="store_true")
     p_all.add_argument("--plots", action="store_true")
@@ -186,13 +309,25 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "validate": _cmd_validate,
     "sensitivity": _cmd_sensitivity,
+    "study": _cmd_study,
     "all": _cmd_all,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
+    try:
+        text, data = _COMMANDS[args.command](args)
+    except ValueError as exc:
+        # Domain errors (unknown scenario, bad stride, infeasible set)
+        # surface as a clean CLI diagnostic, not a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(to_jsonable(data), indent=2))
+    else:
+        print(text)
     return 0
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.schedulability import (
     AnalyzedApplication,
@@ -70,6 +70,19 @@ def make_analyzed(
     ]
 
 
+def _require_fits_alone(app: AnalyzedApplication, method: str) -> None:
+    """Shared feasibility guard for the packing heuristics.
+
+    Opening a fresh slot only helps if the application is schedulable
+    on a slot all of its own; otherwise no packing can succeed.
+    """
+    if not is_slot_schedulable([app], method=method):
+        raise ValueError(
+            f"application {app.name} cannot meet its deadline even on "
+            "a dedicated TT slot"
+        )
+
+
 def first_fit_allocation(
     apps: Sequence[AnalyzedApplication],
     method: str = "closed-form",
@@ -104,11 +117,7 @@ def first_fit_allocation(
                 placed = True
                 break
         if not placed:
-            if not is_slot_schedulable([app], method=method):
-                raise ValueError(
-                    f"application {app.name} cannot meet its deadline even on "
-                    "a dedicated TT slot"
-                )
+            _require_fits_alone(app, method)
             slots.append([app])
             if max_slots is not None and len(slots) > max_slots:
                 raise ValueError(
@@ -127,23 +136,7 @@ def best_fit_allocation(
     Packs tighter than first-fit on some instances; provided as an
     alternative heuristic for comparison.
     """
-    slots: List[List[AnalyzedApplication]] = []
-    for app in priority_order(apps):
-        candidates = [
-            slot
-            for slot in slots
-            if is_slot_schedulable(slot + [app], method=method)
-        ]
-        if candidates:
-            max(candidates, key=len).append(app)
-            continue
-        if not is_slot_schedulable([app], method=method):
-            raise ValueError(
-                f"application {app.name} cannot meet its deadline even on "
-                "a dedicated TT slot"
-            )
-        slots.append([app])
-    return _finalize(slots, method)
+    return _fit_by(apps, method, lambda candidates: max(candidates, key=len))
 
 
 def worst_fit_allocation(
@@ -157,6 +150,15 @@ def worst_fit_allocation(
     heuristics would too) but yields more slack per slot; useful as a
     robustness-oriented baseline.
     """
+    return _fit_by(apps, method, lambda candidates: min(candidates, key=len))
+
+
+def _fit_by(
+    apps: Sequence[AnalyzedApplication],
+    method: str,
+    choose: Callable[[List[List[AnalyzedApplication]]], List[AnalyzedApplication]],
+) -> AllocationResult:
+    """Shared packing loop for the choose-a-feasible-slot heuristics."""
     slots: List[List[AnalyzedApplication]] = []
     for app in priority_order(apps):
         candidates = [
@@ -165,13 +167,9 @@ def worst_fit_allocation(
             if is_slot_schedulable(slot + [app], method=method)
         ]
         if candidates:
-            min(candidates, key=len).append(app)
+            choose(candidates).append(app)
             continue
-        if not is_slot_schedulable([app], method=method):
-            raise ValueError(
-                f"application {app.name} cannot meet its deadline even on "
-                "a dedicated TT slot"
-            )
+        _require_fits_alone(app, method)
         slots.append([app])
     return _finalize(slots, method)
 

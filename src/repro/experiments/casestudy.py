@@ -19,14 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
-
-from repro.control.controller import (
-    SwitchedApplication,
-    design_mode_controller,
-)
-from repro.control.plants import PlantDefinition, make_plant
-from repro.core.characterization import CharacterizationResult, characterize_application
+from repro.control.controller import SwitchedApplication
+from repro.control.plants import PlantDefinition
+from repro.core.characterization import CharacterizationResult
 from repro.core.schedulability import AnalyzedApplication
 from repro.core.timing_params import PAPER_TABLE_I, TimingParameters
 
@@ -43,8 +38,9 @@ SIMULATION_CASE_STUDY: Tuple[Tuple[str, float, float, float], ...] = (
     ("servo-rig", 1000.0, 6.0, 6.0),
 )
 
-#: TT-mode sensor-to-actuator delay used throughout (the paper's 0.7 ms).
-TT_DELAY = 0.0007
+#: TT-mode sensor-to-actuator delay used throughout (the paper's 0.7 ms);
+#: defined alongside the memoized measurement it parameterises.
+from repro.pipeline.cache import TT_DELAY  # noqa: E402  (re-export)
 
 
 def paper_applications() -> List[TimingParameters]:
@@ -89,29 +85,22 @@ def design_case_study_application(
     deadline: float,
     wait_step: int = 2,
 ) -> CaseStudyApplication:
-    """Design, characterise and package one simulation-mode application."""
-    plant = make_plant(plant_name)
-    tt = design_mode_controller(
-        plant.model, period=plant.period, delay=TT_DELAY, q=plant.q, r=plant.r
-    )
-    et = design_mode_controller(
-        plant.model,
-        period=plant.period,
-        delay=plant.period,
-        q=plant.q,
-        r=np.asarray(plant.r) * et_detuning,
-    )
-    app = SwitchedApplication(
-        name=plant_name, et=et, tt=tt, threshold=plant.threshold
-    )
-    characterization = characterize_application(
-        app,
-        x0=plant.disturbance,
-        deadline=deadline,
+    """Design, characterise and package one simulation-mode application.
+
+    Thin wrapper over the pipeline's memoized dwell-curve cache: the
+    expensive controller design + dwell sweep runs once per
+    (plant, detuning, stride) and is shared across repeated calls and
+    scenario sweeps.
+    """
+    from repro.pipeline.cache import GLOBAL_DWELL_CACHE
+
+    return GLOBAL_DWELL_CACHE.characterized(
+        plant_name,
+        et_detuning=et_detuning,
         min_inter_arrival=min_inter_arrival,
+        deadline=deadline,
         wait_step=wait_step,
     )
-    return CaseStudyApplication(plant=plant, app=app, characterization=characterization)
 
 
 def simulation_applications(wait_step: int = 2) -> List[CaseStudyApplication]:

@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.control.disturbance import OneShotDisturbance
 from repro.core.allocation import first_fit_allocation
-from repro.experiments.casestudy import CaseStudyApplication, simulation_applications
+from repro.experiments.casestudy import CaseStudyApplication
 from repro.experiments.reporting import format_table
 from repro.flexray.bus import FlexRayBus
 from repro.flexray.frame import FrameSpec
@@ -89,7 +89,22 @@ def run_fig5(
         analytic worst-case network (faster, deterministic).
     """
     if applications is None:
-        applications = simulation_applications(wait_step=wait_step)
+        # Default roster: run the whole chain as the fig5 pipeline
+        # scenario (shared dwell cache, structured stage artifacts).
+        from repro.pipeline import BusSpec, DesignStudy, get_scenario
+
+        scenario = get_scenario(
+            "fig5-cosim" if use_flexray else "fig5-cosim-analytic"
+        ).derive(
+            wait_step=wait_step,
+            horizon=horizon,
+            bus=BusSpec.from_config(bus_config) if bus_config is not None else None,
+        )
+        study = DesignStudy(scenario).run().raise_for_failure()
+        return Fig5Result(
+            trace=study.attachments.trace,
+            slot_names=study.attachments.allocation.slot_names,
+        )
     allocation = first_fit_allocation(
         [app.analyzed("non-monotonic") for app in applications]
     )

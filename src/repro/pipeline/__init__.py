@@ -1,0 +1,83 @@
+"""Unified scenario pipeline: declarative studies, structured results.
+
+The paper's workflow — plant model -> dwell characterisation -> PWL
+model fit -> wait-time analysis -> TT-slot allocation -> co-simulation
+verification — as a composable API:
+
+* :class:`~repro.pipeline.scenario.Scenario` — a run described as data
+  (source, dwell shape, analysis method, allocator, bus, co-sim);
+* :class:`~repro.pipeline.runner.DesignStudy` — executes the chain as
+  named, introspectable stages;
+* :class:`~repro.pipeline.result.StudyResult` — per-stage artifacts,
+  timings, and provenance; round-trips to/from JSON;
+* :mod:`~repro.pipeline.registry` — the paper's Table I / Fig 3-5
+  setups by name, plus :func:`scenario_grid` sweeps;
+* :func:`~repro.pipeline.runner.run_many` — parallel batch execution
+  with memoized dwell-curve measurements
+  (:class:`~repro.pipeline.cache.DwellCurveCache`).
+
+Quickstart::
+
+    from repro.pipeline import DesignStudy, get_scenario, run_many, scenario_grid
+
+    study = DesignStudy(get_scenario("paper-table1")).run()
+    print(study.slot_count)          # 3
+    print(study.to_json(indent=2))   # machine-readable artifacts
+
+    sweep = run_many(scenario_grid("paper-table1"))
+"""
+
+from repro.pipeline.cache import (
+    GLOBAL_DWELL_CACHE,
+    DwellCurveCache,
+    MeasuredApplication,
+    ServoMeasurement,
+)
+from repro.pipeline.registry import (
+    get_scenario,
+    register_scenario,
+    scenario_grid,
+    scenario_names,
+    scenarios,
+)
+from repro.pipeline.result import StudyAttachments, StudyResult
+from repro.pipeline.runner import DesignStudy, run_many, run_study
+from repro.pipeline.scenario import (
+    ALLOCATORS,
+    DWELL_SHAPES,
+    METHODS,
+    NETWORKS,
+    SOURCES,
+    BusSpec,
+    Scenario,
+)
+from repro.pipeline.serialize import to_jsonable
+from repro.pipeline.stages import STAGE_ORDER, StageRecord, StudyContext
+
+__all__ = [
+    "ALLOCATORS",
+    "BusSpec",
+    "DWELL_SHAPES",
+    "DesignStudy",
+    "DwellCurveCache",
+    "GLOBAL_DWELL_CACHE",
+    "METHODS",
+    "MeasuredApplication",
+    "NETWORKS",
+    "SOURCES",
+    "STAGE_ORDER",
+    "Scenario",
+    "ServoMeasurement",
+    "StageRecord",
+    "StudyAttachments",
+    "StudyContext",
+    "StudyResult",
+    "get_scenario",
+    "register_scenario",
+    "run_many",
+    "run_study",
+    "scenario_grid",
+    "scenario_names",
+    "scenarios",
+    "to_jsonable",
+]

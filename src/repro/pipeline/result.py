@@ -1,0 +1,148 @@
+"""Structured, serializable study results.
+
+A :class:`StudyResult` is the machine-readable record of one
+:class:`~repro.pipeline.runner.DesignStudy` run: the scenario that was
+executed, one :class:`~repro.pipeline.stages.StageRecord` per pipeline
+stage (artifact + status + timing), and provenance.  It round-trips
+losslessly through JSON — ``StudyResult.from_json(result.to_json())``
+compares equal — so results can be archived, diffed, and post-processed
+without re-running anything.
+
+Rich, non-serializable objects (allocations, traces, characterised
+applications) ride along in :class:`StudyAttachments`, which is excluded
+from comparison and serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.pipeline.scenario import Scenario
+from repro.pipeline.stages import StageRecord
+
+
+@dataclass
+class StudyAttachments:
+    """Rich in-process objects produced by a run (not serialized)."""
+
+    params: list = field(default_factory=list)
+    case_apps: Optional[list] = None
+    analyzed: list = field(default_factory=list)
+    allocation: Optional[object] = None
+    trace: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Outcome of running one scenario through the design pipeline."""
+
+    scenario: Scenario
+    stages: Tuple[StageRecord, ...]
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    attachments: Optional[StudyAttachments] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def ok(self) -> bool:
+        """Whether no stage failed (skipped stages are fine)."""
+        return all(record.status != "failed" for record in self.stages)
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [record.name for record in self.stages]
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stages:
+            if record.name == name:
+                return record
+        raise KeyError(
+            f"no stage {name!r}; stages are {self.stage_names}"
+        )
+
+    def artifact(self, name: str) -> Dict[str, Any]:
+        """The named stage's artifact dict (empty if skipped/failed)."""
+        return self.stage(name).artifact
+
+    @property
+    def slot_count(self) -> Optional[int]:
+        """TT slots used by the allocation stage (``None`` if it did not run)."""
+        record = self.stage("allocate")
+        return record.artifact.get("slot_count") if record.ok else None
+
+    @property
+    def duration(self) -> float:
+        """Total wall-clock seconds across all stages."""
+        return sum(record.elapsed for record in self.stages)
+
+    def raise_for_failure(self) -> "StudyResult":
+        """Raise :class:`ValueError` with the failed stage's diagnostic.
+
+        Callers that need the legacy raise-on-infeasible semantics (the
+        experiment drivers, programmatic pipelines) use this instead of
+        silently consuming ``None`` attachments.
+        """
+        for record in self.stages:
+            if record.status == "failed":
+                raise ValueError(
+                    f"study {self.scenario.name!r} failed at stage "
+                    f"{record.name!r}: {record.detail}"
+                )
+        return self
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "stages": [record.to_dict() for record in self.stages],
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StudyResult":
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            stages=tuple(
+                StageRecord.from_dict(record) for record in data["stages"]
+            ),
+            provenance=data.get("provenance", {}),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudyResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- reporting --------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable run summary (stages, allocation, verdicts)."""
+        from repro.experiments.reporting import format_table
+
+        rows = []
+        for record in self.stages:
+            note = record.detail
+            if record.name == "allocate" and record.ok:
+                note = (
+                    f"{record.artifact['slot_count']} TT slots: "
+                    + " | ".join(",".join(s) for s in record.artifact["slots"])
+                )
+            elif record.name == "characterize" and record.ok:
+                note = f"{len(record.artifact['applications'])} applications"
+            elif record.name == "cosim" and record.ok:
+                met = record.artifact["all_deadlines_met"]
+                note = "all deadlines met" if met else "DEADLINE MISS"
+            rows.append([record.name, record.status, f"{record.elapsed:.3f}", note])
+        table = format_table(["stage", "status", "elapsed [s]", "notes"], rows)
+        head = f"Study {self.scenario.name!r} — {'ok' if self.ok else 'FAILED'}"
+        if self.scenario.description:
+            head += f"\n{self.scenario.description}"
+        return f"{head}\n{table}"
+
+
+__all__ = ["StudyAttachments", "StudyResult"]

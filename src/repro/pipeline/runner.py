@@ -1,0 +1,178 @@
+"""Execute scenarios: the :class:`DesignStudy` runner and batch sweeps.
+
+``DesignStudy(scenario).run()`` walks the pipeline stage by stage,
+recording per-stage artifacts and timings into a
+:class:`~repro.pipeline.result.StudyResult`.  A stage that raises a
+domain error (infeasible allocation, overloaded slot, bad roster name)
+marks the study failed and skips the remaining stages — sweeps over
+aggressive grids keep going instead of crashing.
+
+:func:`run_many` executes a scenario list with
+:mod:`concurrent.futures` thread workers sharing one
+:class:`~repro.pipeline.cache.DwellCurveCache`, so a grid that varies
+deadlines, shapes, and allocators measures each dwell curve exactly
+once.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.schedulability import UnschedulableError
+from repro.pipeline.cache import DwellCurveCache, GLOBAL_DWELL_CACHE
+from repro.pipeline.result import StudyAttachments, StudyResult
+from repro.pipeline.scenario import Scenario
+from repro.pipeline.stages import (
+    STAGE_ORDER,
+    STAGES,
+    StageRecord,
+    StageSkipped,
+    StudyContext,
+)
+
+
+class DesignStudy:
+    """Runs one scenario through the full design chain.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative run description (or a registry name).
+    cache:
+        Dwell-measurement cache; defaults to the process-wide
+        :data:`~repro.pipeline.cache.GLOBAL_DWELL_CACHE`.
+    """
+
+    def __init__(
+        self,
+        scenario: Union[Scenario, str],
+        cache: Optional[DwellCurveCache] = None,
+    ):
+        if isinstance(scenario, str):
+            from repro.pipeline.registry import get_scenario
+
+            scenario = get_scenario(scenario)
+        self.scenario = scenario
+        self.cache = cache if cache is not None else GLOBAL_DWELL_CACHE
+
+    def run(self) -> StudyResult:
+        ctx = StudyContext(scenario=self.scenario, cache=self.cache)
+        records: List[StageRecord] = []
+        started = time.time()
+        failed = False
+        for name in STAGE_ORDER:
+            if failed:
+                records.append(
+                    StageRecord(
+                        name=name,
+                        status="skipped",
+                        elapsed=0.0,
+                        artifact={},
+                        detail="upstream stage failed",
+                    )
+                )
+                continue
+            stage = STAGES[name]
+            t0 = time.perf_counter()
+            try:
+                artifact = stage(ctx)
+            except StageSkipped as skip:
+                records.append(
+                    StageRecord(
+                        name=name,
+                        status="skipped",
+                        elapsed=time.perf_counter() - t0,
+                        artifact={},
+                        detail=str(skip),
+                    )
+                )
+            except (ValueError, UnschedulableError, KeyError) as exc:
+                failed = True
+                records.append(
+                    StageRecord(
+                        name=name,
+                        status="failed",
+                        elapsed=time.perf_counter() - t0,
+                        artifact={},
+                        detail=str(exc),
+                    )
+                )
+            else:
+                records.append(
+                    StageRecord(
+                        name=name,
+                        status="ok",
+                        elapsed=time.perf_counter() - t0,
+                        artifact=artifact,
+                    )
+                )
+        from repro import __version__
+
+        provenance = {
+            "repro_version": __version__,
+            "scenario_name": self.scenario.name,
+            "started_at": started,
+            "stage_order": list(STAGE_ORDER),
+        }
+        attachments = StudyAttachments(
+            params=ctx.params,
+            case_apps=ctx.case_apps,
+            analyzed=ctx.analyzed,
+            allocation=ctx.allocation,
+            trace=ctx.trace,
+        )
+        return StudyResult(
+            scenario=self.scenario,
+            stages=tuple(records),
+            provenance=provenance,
+            attachments=attachments,
+        )
+
+
+def run_study(
+    scenario: Union[Scenario, str], cache: Optional[DwellCurveCache] = None
+) -> StudyResult:
+    """Convenience wrapper: ``DesignStudy(scenario, cache).run()``."""
+    return DesignStudy(scenario, cache=cache).run()
+
+
+def run_many(
+    scenarios: Iterable[Union[Scenario, str]],
+    max_workers: Optional[int] = None,
+    cache: Optional[DwellCurveCache] = None,
+) -> List[StudyResult]:
+    """Execute many scenarios, sharing one dwell-measurement cache.
+
+    Results come back in input order.  Thread workers suit this
+    workload: the dwell sweeps spend their time in vectorised numpy
+    calls, and a shared in-process cache de-duplicates the measurements
+    that dominate a sweep's cost.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario objects or registry names.
+    max_workers:
+        Thread count; defaults to ``min(len(scenarios), cpu_count)``.
+        ``1`` forces serial execution.
+    cache:
+        Shared dwell cache; defaults to the process-wide one.
+    """
+    scenario_list = list(scenarios)
+    cache = cache if cache is not None else GLOBAL_DWELL_CACHE
+    if not scenario_list:
+        return []
+    if max_workers is None:
+        max_workers = min(len(scenario_list), os.cpu_count() or 4)
+    if max_workers <= 1 or len(scenario_list) == 1:
+        return [DesignStudy(s, cache=cache).run() for s in scenario_list]
+    with ThreadPoolExecutor(max_workers=max_workers) as executor:
+        return list(
+            executor.map(lambda s: DesignStudy(s, cache=cache).run(), scenario_list)
+        )
+
+
+__all__ = ["DesignStudy", "run_many", "run_study"]

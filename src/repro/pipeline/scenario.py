@@ -1,0 +1,190 @@
+"""Declarative scenario description for the design-study pipeline.
+
+A :class:`Scenario` is *data*: it names every knob of the paper's design
+chain — where the applications come from, which dwell-model shape and
+wait-time analysis to use, how to pack TT slots, the bus geometry, and
+whether to verify by co-simulation — without executing anything.  The
+:class:`~repro.pipeline.runner.DesignStudy` runner turns a scenario into
+a :class:`~repro.pipeline.result.StudyResult`; because scenarios
+round-trip to JSON they can be stored, diffed, swept over, and shipped
+to batch executors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.flexray.params import FlexRayConfig
+
+#: Where the application set comes from.
+SOURCES = ("paper", "simulation", "servo")
+#: Dwell-model shapes supported by the characterisation pipeline.
+DWELL_SHAPES = ("non-monotonic", "conservative-monotonic")
+#: Wait-time analysis methods (paper Eq. 20 vs exact Eq. 5).
+METHODS = ("closed-form", "fixed-point")
+#: TT-slot packing heuristics.
+ALLOCATORS = ("first-fit", "best-fit", "worst-fit", "dedicated", "optimal")
+#: Co-simulation network models.
+NETWORKS = ("analytic", "flexray")
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """Serializable FlexRay-cycle geometry (mirrors :class:`FlexRayConfig`)."""
+
+    cycle_length: float = 0.005
+    static_slots: int = 10
+    static_slot_length: float = 0.0002
+    minislot_length: float = 0.00001
+
+    def to_config(self) -> FlexRayConfig:
+        return FlexRayConfig(
+            cycle_length=self.cycle_length,
+            static_slots=self.static_slots,
+            static_slot_length=self.static_slot_length,
+            minislot_length=self.minislot_length,
+        )
+
+    @classmethod
+    def from_config(cls, config: FlexRayConfig) -> "BusSpec":
+        return cls(
+            cycle_length=config.cycle_length,
+            static_slots=config.static_slots,
+            static_slot_length=config.static_slot_length,
+            minislot_length=config.minislot_length,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BusSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified run of the paper's design chain.
+
+    Attributes
+    ----------
+    name:
+        Identifier (registry key and provenance tag).
+    description:
+        One-line human summary.
+    source:
+        ``"paper"`` (Table I parameters, verbatim), ``"simulation"``
+        (plant-zoo roster characterised end-to-end), or ``"servo"``
+        (the Figure 3 servo-rig testbed).
+    apps:
+        Optional subset of application/plant names to include;
+        ``None`` means the full roster.
+    dwell_shape:
+        PWL dwell-model shape used for the analysis.
+    method:
+        Wait-time analysis method.
+    allocator:
+        TT-slot packing strategy.
+    deadline_scale:
+        Multiplicative deadline-tightness factor (clamped to each
+        application's minimum inter-arrival time).
+    wait_step:
+        Dwell-sweep stride in samples for characterised sources.
+    bus:
+        FlexRay geometry; ``None`` means the paper's 5 ms / 10-slot bus.
+    cosim:
+        Whether to run the co-simulation verification stage.
+    network:
+        Co-simulation network model (``"analytic"`` or ``"flexray"``).
+    horizon:
+        Co-simulation length in seconds; ``None`` derives
+        1.2x the largest deadline.
+    """
+
+    name: str
+    description: str = ""
+    source: str = "paper"
+    apps: Optional[Tuple[str, ...]] = None
+    dwell_shape: str = "non-monotonic"
+    method: str = "closed-form"
+    allocator: str = "first-fit"
+    deadline_scale: float = 1.0
+    wait_step: int = 2
+    bus: Optional[BusSpec] = None
+    cosim: bool = False
+    network: str = "analytic"
+    horizon: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        _check_choice("source", self.source, SOURCES)
+        _check_choice("dwell_shape", self.dwell_shape, DWELL_SHAPES)
+        _check_choice("method", self.method, METHODS)
+        _check_choice("allocator", self.allocator, ALLOCATORS)
+        _check_choice("network", self.network, NETWORKS)
+        if self.apps is not None:
+            object.__setattr__(self, "apps", tuple(str(a) for a in self.apps))
+        if self.deadline_scale <= 0:
+            raise ValueError(
+                f"deadline_scale must be positive, got {self.deadline_scale}"
+            )
+        if int(self.wait_step) != self.wait_step or self.wait_step < 1:
+            raise ValueError(f"wait_step must be an integer >= 1, got {self.wait_step}")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+
+    def derive(self, name: Optional[str] = None, **changes: Any) -> "Scenario":
+        """A modified copy (a grid point, a what-if variant, ...).
+
+        ``name`` defaults to the parent name plus a summary of the
+        overridden fields, so derived scenarios stay distinguishable in
+        sweep outputs.
+        """
+        if name is None:
+            summary = ",".join(f"{key}={value}" for key, value in sorted(changes.items()))
+            name = f"{self.name}[{summary}]" if summary else self.name
+        return dataclasses.replace(self, name=name, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["apps"] = list(self.apps) if self.apps is not None else None
+        data["bus"] = self.bus.to_dict() if self.bus is not None else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        payload = dict(data)
+        if payload.get("apps") is not None:
+            payload["apps"] = tuple(payload["apps"])
+        if payload.get("bus") is not None:
+            payload["bus"] = BusSpec.from_dict(payload["bus"])
+        return cls(**payload)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+def _check_choice(field_name: str, value: str, choices: Tuple[str, ...]) -> None:
+    if value not in choices:
+        raise ValueError(
+            f"unknown {field_name} {value!r}; expected one of {list(choices)}"
+        )
+
+
+__all__ = [
+    "ALLOCATORS",
+    "BusSpec",
+    "DWELL_SHAPES",
+    "METHODS",
+    "NETWORKS",
+    "SOURCES",
+    "Scenario",
+]

@@ -1,0 +1,405 @@
+"""Named, introspectable stages of the design chain.
+
+The paper's workflow is a fixed pipeline::
+
+    characterize -> model -> analyze -> allocate -> cosim
+
+Each stage function consumes a mutable :class:`StudyContext` (scenario +
+rich upstream objects) and returns a JSON-safe artifact dict; the runner
+wraps that into a :class:`StageRecord` with status and timing.  The rich
+objects (curves, models, allocations, traces) stay on the context so
+programmatic callers — the legacy experiment drivers among them — can
+reuse them without re-parsing artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.control.disturbance import OneShotDisturbance
+from repro.core.allocation import (
+    AllocationResult,
+    best_fit_allocation,
+    dedicated_allocation,
+    first_fit_allocation,
+    optimal_allocation,
+    worst_fit_allocation,
+)
+from repro.core.characterization import characterize_curve
+from repro.core.pwl import from_timing_parameters
+from repro.core.schedulability import AnalyzedApplication, is_slot_schedulable
+from repro.core.sensitivity import static_segment_usage
+from repro.core.timing_params import PAPER_TABLE_I, TimingParameters
+from repro.flexray.bus import FlexRayBus
+from repro.flexray.frame import FrameSpec
+from repro.flexray.params import paper_bus_config
+from repro.pipeline.cache import DwellCurveCache
+from repro.pipeline.scenario import Scenario
+from repro.pipeline.serialize import to_jsonable
+from repro.sim.cosim import (
+    AnalyticNetwork,
+    CoSimApplication,
+    CoSimulator,
+    FlexRayNetwork,
+    NetworkModel,
+)
+from repro.sim.trace import SimulationTrace
+
+#: Canonical stage order.
+STAGE_ORDER = ("characterize", "model", "analyze", "allocate", "cosim")
+
+#: Servo-rig deadline/inter-arrival defaults (the Figure 3 setup).
+SERVO_DEADLINE = 6.0
+SERVO_MIN_INTER_ARRIVAL = 6.0
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Outcome of one pipeline stage.
+
+    ``artifact`` holds only JSON-safe containers so a
+    :class:`~repro.pipeline.result.StudyResult` round-trips losslessly.
+    """
+
+    name: str
+    status: str  # "ok" | "failed" | "skipped"
+    elapsed: float
+    artifact: Dict[str, Any]
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "elapsed": self.elapsed,
+            "artifact": self.artifact,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageRecord":
+        return cls(
+            name=data["name"],
+            status=data["status"],
+            elapsed=data["elapsed"],
+            artifact=data["artifact"],
+            detail=data.get("detail", ""),
+        )
+
+
+class StageSkipped(Exception):
+    """Raised by a stage that does not apply to the scenario."""
+
+
+@dataclass
+class StudyContext:
+    """Mutable carrier of rich objects flowing between stages."""
+
+    scenario: Scenario
+    cache: DwellCurveCache
+    params: List[TimingParameters] = field(default_factory=list)
+    case_apps: Optional[list] = None  # List[CaseStudyApplication] (sim/servo)
+    analyzed: List[AnalyzedApplication] = field(default_factory=list)
+    allocation: Optional[AllocationResult] = None
+    trace: Optional[SimulationTrace] = None
+
+
+def _scaled_deadline(deadline: float, min_inter_arrival: float, scale: float) -> float:
+    """Apply the deadline-tightness factor, clamped to the inter-arrival
+    time (the paper requires deadline <= r)."""
+    return min(deadline * scale, min_inter_arrival)
+
+
+def _params_row(p: TimingParameters) -> Dict[str, Any]:
+    return {
+        "name": p.name,
+        "min_inter_arrival": p.min_inter_arrival,
+        "deadline": p.deadline,
+        "xi_tt": p.xi_tt,
+        "xi_et": p.xi_et,
+        "xi_m": p.xi_m,
+        "k_p": p.k_p,
+        "xi_m_mono": p.xi_m_mono,
+    }
+
+
+def _curve_dict(curve) -> Dict[str, Any]:
+    return {
+        "waits": to_jsonable(curve.waits),
+        "dwells": to_jsonable(curve.dwells),
+        "xi_et": curve.xi_et,
+    }
+
+
+def stage_characterize(ctx: StudyContext) -> Dict[str, Any]:
+    """Plant models -> dwell characterisation -> timing parameters."""
+    scenario = ctx.scenario
+    artifact: Dict[str, Any] = {
+        "source": scenario.source,
+        "deadline_scale": scenario.deadline_scale,
+    }
+    if scenario.source == "paper":
+        rows = _select_named(
+            list(PAPER_TABLE_I), scenario.apps, lambda p: p.name, "application"
+        )
+        from repro.core.sensitivity import scale_deadlines
+
+        ctx.params = scale_deadlines(rows, scenario.deadline_scale)
+        ctx.case_apps = None
+    elif scenario.source == "simulation":
+        from repro.experiments.casestudy import SIMULATION_CASE_STUDY
+
+        roster = _select_named(
+            list(SIMULATION_CASE_STUDY), scenario.apps, lambda e: e[0], "plant"
+        )
+        hits = 0
+        ctx.case_apps = []
+        for plant_name, detuning, inter_arrival, deadline in roster:
+            case_app, hit = ctx.cache.characterized_info(
+                plant_name,
+                et_detuning=detuning,
+                min_inter_arrival=inter_arrival,
+                deadline=_scaled_deadline(
+                    deadline, inter_arrival, scenario.deadline_scale
+                ),
+                wait_step=scenario.wait_step,
+            )
+            ctx.case_apps.append(case_app)
+            hits += hit
+        ctx.params = [app.params for app in ctx.case_apps]
+        artifact["cache"] = {"hits": hits, "misses": len(roster) - hits}
+        artifact["curves"] = {
+            app.name: _curve_dict(app.characterization.curve)
+            for app in ctx.case_apps
+        }
+    else:  # servo
+        from repro.experiments.casestudy import CaseStudyApplication
+
+        _select_named(["servo-rig"], scenario.apps, lambda n: n, "application")
+        measured, hit = ctx.cache.servo_measurement_info(
+            wait_step=scenario.wait_step
+        )
+        characterization = characterize_curve(
+            name="servo-rig",
+            curve=measured.curve,
+            deadline=_scaled_deadline(
+                SERVO_DEADLINE, SERVO_MIN_INTER_ARRIVAL, scenario.deadline_scale
+            ),
+            min_inter_arrival=SERVO_MIN_INTER_ARRIVAL,
+        )
+        ctx.case_apps = [
+            CaseStudyApplication(
+                plant=None, app=None, characterization=characterization
+            )
+        ]
+        ctx.params = [characterization.params]
+        artifact["cache"] = {"hits": int(hit), "misses": int(not hit)}
+        artifact["curves"] = {"servo-rig": _curve_dict(measured.curve)}
+        artifact["measured"] = {"xi_tt": measured.xi_tt, "xi_et": measured.xi_et}
+    artifact["applications"] = [_params_row(p) for p in ctx.params]
+    return artifact
+
+
+def stage_model(ctx: StudyContext) -> Dict[str, Any]:
+    """Fit/instantiate the scenario's PWL dwell models."""
+    scenario = ctx.scenario
+    shape = scenario.dwell_shape
+    if ctx.case_apps is not None:
+        models = []
+        for case_app in ctx.case_apps:
+            characterization = case_app.characterization
+            if shape == "non-monotonic":
+                models.append(characterization.non_monotonic_model)
+            else:
+                models.append(characterization.monotonic_model)
+        ctx.analyzed = [
+            AnalyzedApplication(params=params, dwell_model=model)
+            for params, model in zip(ctx.params, models)
+        ]
+        curves = [app.characterization.curve for app in ctx.case_apps]
+    else:
+        ctx.analyzed = [
+            AnalyzedApplication(
+                params=params, dwell_model=from_timing_parameters(params, shape)
+            )
+            for params in ctx.params
+        ]
+        curves = [None] * len(ctx.params)
+    rows = []
+    for app, curve in zip(ctx.analyzed, curves):
+        model = app.dwell_model
+        rows.append(
+            {
+                "name": app.name,
+                "label": model.label,
+                "breakpoints": to_jsonable(model.breakpoints),
+                "max_dwell": model.max_dwell,
+                "peak_wait": model.peak_wait,
+                "dominates_measurement": (
+                    None if curve is None else bool(model.dominates(curve))
+                ),
+            }
+        )
+    return {"shape": shape, "models": rows}
+
+
+def stage_analyze(ctx: StudyContext) -> Dict[str, Any]:
+    """Per-application wait-time pre-analysis (feasibility + utilisation)."""
+    method = ctx.scenario.method
+    rows = []
+    total_utilization = 0.0
+    for app in ctx.analyzed:
+        utilization = app.max_dwell / app.min_inter_arrival
+        total_utilization += utilization
+        rows.append(
+            {
+                "name": app.name,
+                "deadline": app.deadline,
+                "max_dwell": app.max_dwell,
+                "utilization": utilization,
+                "feasible_alone": bool(is_slot_schedulable([app], method=method)),
+            }
+        )
+    return {
+        "method": method,
+        "applications": rows,
+        "total_utilization": total_utilization,
+    }
+
+
+_ALLOCATORS = {
+    "first-fit": first_fit_allocation,
+    "best-fit": best_fit_allocation,
+    "worst-fit": worst_fit_allocation,
+    "dedicated": dedicated_allocation,
+    "optimal": optimal_allocation,
+}
+
+
+def stage_allocate(ctx: StudyContext) -> Dict[str, Any]:
+    """Pack the applications onto the minimum number of shared TT slots."""
+    scenario = ctx.scenario
+    allocate = _ALLOCATORS[scenario.allocator]
+    ctx.allocation = allocate(ctx.analyzed, method=scenario.method)
+    allocation = ctx.allocation
+    bus = (scenario.bus.to_config() if scenario.bus else paper_bus_config())
+    usage = static_segment_usage(allocation.slot_count, bus.static_slots)
+    return {
+        "allocator": scenario.allocator,
+        "method": scenario.method,
+        "slot_count": allocation.slot_count,
+        "slots": to_jsonable(allocation.slot_names),
+        "analyses": {
+            name: {
+                "max_wait": analysis.max_wait,
+                "worst_response": analysis.worst_response,
+                "deadline": analysis.deadline,
+                "schedulable": bool(analysis.schedulable),
+            }
+            for name, analysis in sorted(allocation.analyses.items())
+        },
+        "all_schedulable": bool(allocation.all_schedulable()),
+        "static_segment": {
+            "slots_used": usage.slots_used,
+            "slots_available": usage.slots_available,
+            "fraction": usage.fraction,
+            "fits": bool(usage.fits),
+        },
+    }
+
+
+def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
+    """Verify the allocation by co-simulating all disturbed plants."""
+    scenario = ctx.scenario
+    if not scenario.cosim:
+        raise StageSkipped("co-simulation disabled by scenario")
+    if scenario.source != "simulation":
+        raise StageSkipped(
+            "co-simulation requires plant models (source='simulation')"
+        )
+    assert ctx.case_apps is not None and ctx.allocation is not None
+    horizon = scenario.horizon
+    if horizon is None:
+        horizon = 1.2 * max(app.params.deadline for app in ctx.case_apps)
+    cosim_apps = []
+    for index, case_app in enumerate(ctx.case_apps):
+        cosim_apps.append(
+            CoSimApplication(
+                app=case_app.app,
+                dynamics=case_app.plant.model,
+                disturbance_state=case_app.plant.disturbance,
+                disturbances=OneShotDisturbance(time=0.0),
+                deadline=case_app.params.deadline,
+                slot=ctx.allocation.slot_of(case_app.name),
+                frame=FrameSpec(frame_id=index + 1, sender=case_app.name),
+            )
+        )
+    network: NetworkModel
+    if scenario.network == "flexray":
+        config = scenario.bus.to_config() if scenario.bus else paper_bus_config()
+        network = FlexRayNetwork(bus=FlexRayBus(config=config))
+    else:
+        network = AnalyticNetwork()
+    ctx.trace = CoSimulator(cosim_apps, network).run(horizon)
+    rows = []
+    for row in ctx.trace.summary_rows():
+        rows.append(
+            {
+                "name": row["app"],
+                "worst_response": row["worst_response"],
+                "deadline": row["deadline"],
+                "deadline_met": bool(row["deadline_met"]),
+                "tt_episodes": len(row["tt_intervals"]),
+            }
+        )
+    return {
+        "network": scenario.network,
+        "horizon": horizon,
+        "slots": to_jsonable(ctx.allocation.slot_names),
+        "applications": rows,
+        "all_deadlines_met": bool(ctx.trace.all_deadlines_met()),
+    }
+
+
+STAGES = {
+    "characterize": stage_characterize,
+    "model": stage_model,
+    "analyze": stage_analyze,
+    "allocate": stage_allocate,
+    "cosim": stage_cosim,
+}
+
+
+def _select_named(items, names, key, kind):
+    """Filter ``items`` by the scenario's ``apps`` subset, preserving
+    roster order; unknown names raise."""
+    if names is None:
+        return items
+    by_name = {key(item): item for item in items}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} name(s) {unknown}; expected a subset of "
+            f"{sorted(by_name)}"
+        )
+    wanted = set(names)
+    return [item for item in items if key(item) in wanted]
+
+
+__all__ = [
+    "STAGES",
+    "STAGE_ORDER",
+    "StageRecord",
+    "StageSkipped",
+    "StudyContext",
+    "stage_allocate",
+    "stage_analyze",
+    "stage_characterize",
+    "stage_cosim",
+    "stage_model",
+]

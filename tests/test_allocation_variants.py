@@ -94,3 +94,50 @@ class TestVariantProperties:
             return
         placed = sorted(n for slot in result.slot_names for n in slot)
         assert placed == sorted(a.name for a in apps)
+
+
+def _infeasible_app():
+    """An application whose pure-TT response already misses its deadline,
+    so no packing (not even a dedicated slot) can schedule it."""
+    params = TimingParameters(
+        name="doomed",
+        min_inter_arrival=10.0,
+        deadline=1.5,
+        xi_tt=2.0,
+        xi_et=5.0,
+        xi_m=2.5,
+        k_p=1.0,
+        xi_m_mono=3.0,
+    )
+    return make_analyzed([params], "non-monotonic")
+
+
+class TestInfeasibleErrorPaths:
+    """All packing heuristics share the dedicated-slot feasibility guard."""
+
+    @pytest.mark.parametrize(
+        "allocate",
+        [first_fit_allocation, best_fit_allocation, worst_fit_allocation],
+        ids=["first-fit", "best-fit", "worst-fit"],
+    )
+    def test_heuristics_raise_shared_message(self, allocate):
+        with pytest.raises(
+            ValueError, match="cannot meet its deadline even on a dedicated TT slot"
+        ):
+            allocate(_infeasible_app())
+
+    def test_dedicated_reports_unschedulable_without_raising(self):
+        result = dedicated_allocation(_infeasible_app())
+        assert result.slot_count == 1
+        assert not result.all_schedulable()
+
+    @pytest.mark.parametrize(
+        "allocate",
+        [best_fit_allocation, worst_fit_allocation],
+        ids=["best-fit", "worst-fit"],
+    )
+    def test_fixed_point_method_propagates(self, paper_apps, allocate):
+        result = allocate(paper_apps, method="fixed-point")
+        assert result.method == "fixed-point"
+        assert result.all_schedulable()
+        assert result.slot_count <= len(paper_apps)

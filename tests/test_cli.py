@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.pipeline import StudyResult
 
 
 class TestParser:
@@ -46,3 +49,85 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "sensitivity" in out.lower()
         assert "3" in out and "5" in out
+
+
+#: Cheapest invocation of every subcommand (high stride, few seeds, the
+#: analytic network) so the smoke sweep stays fast.
+SMOKE_COMMANDS = [
+    ["fig1"],
+    ["fig3", "--wait-step", "16"],
+    ["fig4", "--wait-step", "16"],
+    ["table1", "--paper-only"],
+    ["allocation"],
+    ["fig5", "--analytic", "--wait-step", "16"],
+    ["ablations", "--which", "fixed-point"],
+    ["validate", "--seeds", "1", "--wait-step", "16"],
+    ["sensitivity", "--scales", "1.0"],
+    ["study", "--scenario", "paper-table1"],
+]
+
+
+class TestSmoke:
+    """Every subcommand runs to completion and prints something."""
+
+    @pytest.mark.parametrize(
+        "argv", SMOKE_COMMANDS, ids=[argv[0] for argv in SMOKE_COMMANDS]
+    )
+    def test_subcommand_runs(self, argv, capsys):
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip()
+
+    @pytest.mark.parametrize(
+        "argv", SMOKE_COMMANDS, ids=[argv[0] for argv in SMOKE_COMMANDS]
+    )
+    def test_subcommand_runs_with_json(self, argv, capsys):
+        assert main(argv + ["--json"]) == 0
+        json.loads(capsys.readouterr().out)
+
+
+class TestStudyCommand:
+    def test_study_json_round_trips(self, capsys):
+        assert main(["study", "--scenario", "paper-table1", "--json"]) == 0
+        payload = capsys.readouterr().out
+        result = StudyResult.from_json(payload)
+        assert result.ok
+        assert result.slot_count == 3
+        assert result.to_dict() == json.loads(payload)
+
+    def test_study_multiple_scenarios_emit_list(self, capsys):
+        assert main(
+            [
+                "study",
+                "--scenario", "paper-table1",
+                "--scenario", "paper-table1-monotonic",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+        slots = [StudyResult.from_dict(item).slot_count for item in payload]
+        assert slots == [3, 5]
+
+    def test_study_list(self, capsys):
+        assert main(["study", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-table1" in out and "fig5-cosim" in out
+
+    def test_study_default_scenario(self, capsys):
+        assert main(["study"]) == 0
+        assert "paper-table1" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["study", "--scenario", "no-such-scenario"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_wait_step_is_clean_error(self, capsys):
+        assert main(["fig3", "--wait-step", "0"]) == 2
+        assert "wait_step" in capsys.readouterr().err
+
+    def test_flags_accepted_before_subcommand(self, capsys):
+        # top-level position (legacy) and post-subcommand position both work
+        assert main(["--json", "table1", "--paper-only"]) == 0
+        json.loads(capsys.readouterr().out)

@@ -1,0 +1,230 @@
+"""Tests for the repro.pipeline scenario API.
+
+Covers the Scenario/StudyResult JSON round trips, the DesignStudy stage
+machinery, the registry, and the batch executor's dwell-measurement
+memoization (the acceptance criteria of the pipeline redesign).
+"""
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    BusSpec,
+    DesignStudy,
+    DwellCurveCache,
+    Scenario,
+    StudyResult,
+    get_scenario,
+    register_scenario,
+    run_many,
+    scenario_grid,
+    scenario_names,
+)
+
+#: A small, fast simulation roster for cache/sweep tests.
+FAST_SIM = dict(apps=("servo-rig", "throttle-by-wire"), wait_step=16)
+
+
+class TestScenario:
+    def test_json_round_trip(self):
+        scenario = Scenario(
+            name="rt",
+            source="simulation",
+            apps=("servo-rig",),
+            dwell_shape="conservative-monotonic",
+            method="fixed-point",
+            allocator="best-fit",
+            deadline_scale=1.5,
+            wait_step=4,
+            bus=BusSpec(static_slots=8),
+            cosim=True,
+            network="flexray",
+            horizon=12.0,
+        )
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_rejects_unknown_choices(self):
+        with pytest.raises(ValueError, match="source"):
+            Scenario(name="x", source="hardware")
+        with pytest.raises(ValueError, match="allocator"):
+            Scenario(name="x", allocator="random-fit")
+        with pytest.raises(ValueError, match="deadline_scale"):
+            Scenario(name="x", deadline_scale=0.0)
+        with pytest.raises(ValueError, match="wait_step"):
+            Scenario(name="x", wait_step=0)
+
+    def test_derive_overrides_and_names(self):
+        base = get_scenario("paper-table1")
+        derived = base.derive(allocator="best-fit")
+        assert derived.allocator == "best-fit"
+        assert derived.source == base.source
+        assert derived.name != base.name
+        assert base.name in derived.name
+
+    def test_bus_spec_config_round_trip(self):
+        spec = BusSpec(cycle_length=0.004, static_slots=6)
+        assert BusSpec.from_config(spec.to_config()) == spec
+
+
+class TestRegistry:
+    def test_paper_scenarios_registered(self):
+        names = scenario_names()
+        for expected in ("paper-table1", "sim-table1", "fig3-servo", "fig5-cosim"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(get_scenario("paper-table1"))
+
+    def test_default_grid_has_twelve_points(self):
+        grid = scenario_grid("paper-table1")
+        assert len(grid) == 12
+        assert len({s.name for s in grid}) == 12
+
+
+class TestDesignStudy:
+    def test_paper_table1_reproduces_section_v(self):
+        study = DesignStudy(get_scenario("paper-table1")).run()
+        assert study.ok
+        assert study.slot_count == 3
+        assert study.artifact("allocate")["slots"] == [
+            ["C3", "C6"],
+            ["C2", "C4"],
+            ["C5", "C1"],
+        ]
+        assert study.stage("cosim").status == "skipped"
+
+    def test_monotonic_needs_more_slots(self):
+        study = DesignStudy(get_scenario("paper-table1-monotonic")).run()
+        assert study.slot_count == 5
+
+    def test_accepts_registry_name(self):
+        assert DesignStudy("paper-table1-optimal").run().slot_count == 3
+
+    def test_study_result_json_round_trip_lossless(self):
+        study = DesignStudy(get_scenario("paper-table1")).run()
+        wire = study.to_json()
+        restored = StudyResult.from_json(wire)
+        assert restored == study
+        assert json.loads(restored.to_json()) == json.loads(wire)
+
+    def test_stage_artifacts_are_plain_json(self):
+        study = DesignStudy(get_scenario("paper-table1")).run()
+        # json.dumps with allow_nan=False would reject inf; the artifacts
+        # of a feasible study must be strictly JSON-typed.
+        json.dumps(study.to_dict())
+        analyze = study.artifact("analyze")
+        assert all(row["feasible_alone"] for row in analyze["applications"])
+
+    def test_infeasible_scenario_fails_gracefully(self):
+        scenario = get_scenario("paper-table1").derive(deadline_scale=0.05)
+        study = DesignStudy(scenario).run()
+        assert not study.ok
+        assert study.stage("allocate").status == "failed"
+        assert "dedicated TT slot" in study.stage("allocate").detail
+        assert study.stage("cosim").status == "skipped"
+        assert study.slot_count is None
+        # failed studies still serialize and round-trip
+        assert StudyResult.from_json(study.to_json()) == study
+
+    def test_servo_scenario_characterizes_rig(self):
+        study = DesignStudy(
+            get_scenario("fig3-servo").derive(wait_step=16), cache=DwellCurveCache()
+        ).run()
+        assert study.ok
+        assert study.slot_count == 1
+        curves = study.artifact("characterize")["curves"]
+        assert "servo-rig" in curves
+        assert len(curves["servo-rig"]["waits"]) >= 2
+
+    def test_simulation_cosim_meets_deadlines(self):
+        scenario = get_scenario("fig5-cosim-analytic").derive(**FAST_SIM)
+        study = DesignStudy(scenario).run()
+        assert study.ok
+        cosim = study.artifact("cosim")
+        assert cosim["all_deadlines_met"]
+        assert len(cosim["applications"]) == len(FAST_SIM["apps"])
+
+    def test_unknown_app_subset_fails_characterize(self):
+        scenario = get_scenario("sim-table1").derive(apps=("no-such-plant",))
+        study = DesignStudy(scenario, cache=DwellCurveCache()).run()
+        assert not study.ok
+        assert study.stage("characterize").status == "failed"
+
+    def test_servo_source_validates_app_subset(self):
+        scenario = get_scenario("fig3-servo").derive(apps=("typo",))
+        study = DesignStudy(scenario, cache=DwellCurveCache()).run()
+        assert study.stage("characterize").status == "failed"
+        assert "typo" in study.stage("characterize").detail
+
+    def test_raise_for_failure(self):
+        good = DesignStudy(get_scenario("paper-table1")).run()
+        assert good.raise_for_failure() is good
+        bad = DesignStudy(
+            get_scenario("paper-table1").derive(deadline_scale=0.05)
+        ).run()
+        with pytest.raises(ValueError, match="failed at stage 'allocate'"):
+            bad.raise_for_failure()
+
+
+class TestDwellCurveCache:
+    def test_measurement_is_memoized(self):
+        cache = DwellCurveCache()
+        first = cache.measurement("servo-rig", 1000.0, wait_step=16)
+        second = cache.measurement("servo-rig", 1000.0, wait_step=16)
+        assert first is second
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_keys_measure_separately(self):
+        cache = DwellCurveCache()
+        cache.measurement("servo-rig", 1000.0, wait_step=16)
+        cache.measurement("servo-rig", 1000.0, wait_step=8)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_clear_resets_stats(self):
+        cache = DwellCurveCache()
+        cache.measurement("servo-rig", 1000.0, wait_step=16)
+        cache.clear()
+        assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+
+
+class TestRunMany:
+    def test_grid_sweep_shares_dwell_measurements(self):
+        cache = DwellCurveCache()
+        base = get_scenario("sim-table1").derive(**FAST_SIM)
+        grid = scenario_grid(base, deadline_scales=(1.0, 1.5, 2.0))
+        assert len(grid) >= 12
+        results = run_many(grid, cache=cache)
+        assert len(results) == len(grid)
+        assert all(result.ok for result in results)
+        # one measurement per (plant, detuning, stride); everything else
+        # must come from the cache
+        assert cache.misses == len(FAST_SIM["apps"])
+        assert cache.hits == (len(grid) - 1) * len(FAST_SIM["apps"])
+        # per-study artifacts record their cache economy
+        recorded_hits = sum(
+            result.artifact("characterize")["cache"]["hits"] for result in results
+        )
+        assert recorded_hits == cache.hits
+
+    def test_results_in_input_order_and_serializable(self):
+        results = run_many(
+            ["paper-table1", "paper-table1-monotonic"], max_workers=2
+        )
+        assert [r.scenario.name for r in results] == [
+            "paper-table1",
+            "paper-table1-monotonic",
+        ]
+        assert [r.slot_count for r in results] == [3, 5]
+        for result in results:
+            assert StudyResult.from_json(result.to_json()) == result
+
+    def test_serial_fallback(self):
+        assert run_many([], max_workers=4) == []
+        (only,) = run_many(["paper-table1"], max_workers=1)
+        assert only.slot_count == 3
