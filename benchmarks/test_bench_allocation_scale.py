@@ -1,0 +1,104 @@
+"""Benchmark — exact allocation at scale (ISSUE 2 satellite).
+
+Compares the exhaustive set-partition search against the pruned
+branch-and-bound backend on synthetic fleets of 8/12/16/20 applications
+and records the feasibility cache's effectiveness (hit rate, memoized
+entries, search nodes) in each benchmark's ``extra_info``.
+
+The exhaustive enumeration is Bell-number-bounded and only runs at
+n=8; branch-and-bound must prove the same optimum there and keep
+solving — the acceptance bar is a 20-app exact solve in under 5 s.
+
+Smoke mode for CI: set ``REPRO_SCALE_BENCH_MAX`` (e.g. ``12``) to cap
+the fleet size, and run with ``--benchmark-disable`` so every case
+executes exactly once as a plain regression test.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.allocation import make_analyzed
+from repro.core.timing_params import TimingParameters
+from repro.solvers import allocate
+
+_SMOKE_MAX = int(os.environ.get("REPRO_SCALE_BENCH_MAX", "20"))
+SIZES = [n for n in (8, 12, 16, 20) if n <= _SMOKE_MAX]
+
+
+def synthetic_fleet(n, seed=7):
+    """A reproducible n-app roster, every app feasible on its own slot.
+
+    Utilisations and deadlines are drawn so slots typically host a
+    handful of applications — enough sharing to make the exact search
+    non-trivial without blowing past the deadline bracket.
+    """
+    rng = random.Random(seed)
+    roster = []
+    for i in range(n):
+        xi_tt = rng.uniform(0.2, 0.6)
+        xi_m = xi_tt * rng.uniform(1.1, 1.7)
+        xi_et = xi_m * rng.uniform(2.5, 3.5)
+        deadline = xi_m * rng.uniform(4.0, 9.0)
+        roster.append(
+            TimingParameters(
+                name=f"S{i:02d}",
+                min_inter_arrival=deadline * rng.uniform(2.0, 6.0),
+                deadline=deadline,
+                xi_tt=xi_tt,
+                xi_et=xi_et,
+                xi_m=xi_m,
+                k_p=0.4 * xi_et,
+                xi_m_mono=1.25 * xi_m,
+            )
+        )
+    return make_analyzed(roster, "non-monotonic")
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_branch_and_bound_scale(benchmark, n):
+    apps = synthetic_fleet(n)
+    result = benchmark.pedantic(
+        lambda: allocate("branch-and-bound", apps), rounds=1, iterations=1
+    )
+    stats = result.stats
+    benchmark.extra_info["n_apps"] = n
+    benchmark.extra_info["slot_count"] = result.slot_count
+    benchmark.extra_info["search_nodes"] = stats["nodes"]
+    benchmark.extra_info["cache_hit_rate"] = round(
+        stats["feasibility_cache"]["hit_rate"], 4
+    )
+    benchmark.extra_info["cache_entries"] = stats["feasibility_cache"]["entries"]
+    assert result.all_schedulable()
+    assert result.slot_count <= allocate("first-fit", apps).slot_count
+
+
+def test_bench_exhaustive_optimum_at_8(benchmark):
+    """The seed backend's comfort zone — and the agreement check."""
+    apps = synthetic_fleet(8)
+    exhaustive = benchmark.pedantic(
+        lambda: allocate("optimal", apps), rounds=1, iterations=1
+    )
+    bnb = allocate("branch-and-bound", apps)
+    assert bnb.slot_count == exhaustive.slot_count
+
+
+def test_twenty_app_exact_solve_under_five_seconds():
+    """ISSUE 2 acceptance: a 20-app exact solve finishes in < 5 s."""
+    if _SMOKE_MAX < 20:
+        pytest.skip("smoke mode caps the fleet below 20 apps")
+    apps = synthetic_fleet(20)
+    start = time.perf_counter()
+    result = allocate("branch-and-bound", apps)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"20-app exact solve took {elapsed:.2f}s"
+    assert result.all_schedulable()
+    cache = result.stats["feasibility_cache"]
+    assert cache["hits"] > 0  # memoization actually engaged
+    print(
+        f"\n20-app branch-and-bound: {elapsed:.3f}s, "
+        f"{result.slot_count} slots, {result.stats['nodes']} nodes, "
+        f"cache hit rate {cache['hit_rate']:.1%} ({cache['entries']} entries)"
+    )

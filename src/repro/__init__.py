@@ -16,6 +16,9 @@ The library implements the paper's complete stack:
   (Figure 1 runtime, Figure 5 evaluation);
 * :mod:`repro.baselines` — comparison analyses (CAN RTA, monotonic models,
   dedicated slots);
+* :mod:`repro.solvers` — pluggable allocator and wait-analysis backends:
+  decorator registries with capability metadata, the exact
+  branch-and-bound search, and the annealing heuristic for large fleets;
 * :mod:`repro.pipeline` — the declarative scenario API: ``Scenario`` in,
   ``DesignStudy`` runs the chain as named stages, structured
   JSON-serializable ``StudyResult`` out, with a registry of the paper's
@@ -108,12 +111,27 @@ from repro.sim import (
     SimulationTrace,
     TTSlotArbiter,
 )
+from repro.solvers import (
+    AllocatorSpec,
+    AnalysisMethodSpec,
+    SolverError,
+    allocate,
+    allocator_names,
+    analysis_method_names,
+    get_allocator,
+    get_analysis_method,
+    register_allocator,
+    register_analysis_method,
+    solver_table,
+)
 from repro.testbed import ServoRigConfig, ServoTestbed, default_servo_testbed
 
 __version__ = "0.1.0"
 
 __all__ = [
     "AllocationResult",
+    "AllocatorSpec",
+    "AnalysisMethodSpec",
     "AnalyticNetwork",
     "AnalyzedApplication",
     "BusSpec",
@@ -136,11 +154,15 @@ __all__ = [
     "ServoRigConfig",
     "ServoTestbed",
     "SimulationTrace",
+    "SolverError",
     "StudyResult",
     "SwitchedApplication",
     "TTSlotArbiter",
     "TimingParameters",
     "UnschedulableError",
+    "allocate",
+    "allocator_names",
+    "analysis_method_names",
     "analyze_application",
     "analyze_slot",
     "characterize_application",
@@ -161,6 +183,8 @@ __all__ = [
     "fit_conservative_monotonic",
     "fit_two_segment",
     "from_timing_parameters",
+    "get_allocator",
+    "get_analysis_method",
     "get_scenario",
     "is_slot_schedulable",
     "make_analyzed",
@@ -172,6 +196,8 @@ __all__ = [
     "paper_application",
     "paper_bus_config",
     "priority_order",
+    "register_allocator",
+    "register_analysis_method",
     "run_many",
     "run_study",
     "scenario_grid",
@@ -179,5 +205,6 @@ __all__ = [
     "servo_rig",
     "settling_time",
     "simple_monotonic",
+    "solver_table",
     "two_segment",
 ]

@@ -11,6 +11,7 @@ Usage::
     python -m repro validate [--seeds N]
     python -m repro sensitivity [--scales 0.5 1.0 2.0]
     python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--list]
+    python -m repro solvers
 
 Every command accepts ``--json`` to emit machine-readable results
 instead of ASCII reports; ``study`` runs declarative
@@ -170,6 +171,47 @@ def _cmd_study(args):
     return text, data
 
 
+def _cmd_solvers(args):
+    """List registered solver backends with their capability metadata."""
+    from repro.solvers import solver_table
+
+    table = solver_table()
+    allocator_rows = [
+        [
+            spec["name"],
+            "yes" if spec["optimal"] else "no",
+            spec["complexity"],
+            "any" if spec["methods"] is None else ",".join(spec["methods"]),
+            spec["max_apps"] if spec["max_apps"] is not None else "-",
+            "yes" if spec["randomized"] else "no",
+            spec["summary"],
+        ]
+        for spec in table["allocators"]
+    ]
+    method_rows = [
+        [
+            spec["name"],
+            "yes" if spec["exact"] else "no",
+            spec["bound"],
+            "yes" if spec["safe"] else "no",
+            spec["summary"],
+        ]
+        for spec in table["analysis_methods"]
+    ]
+    text = (
+        "Registered allocators\n"
+        + format_table(
+            ["name", "optimal", "complexity", "methods", "max apps", "randomized", "summary"],
+            allocator_rows,
+        )
+        + "\n\nRegistered analysis methods\n"
+        + format_table(
+            ["name", "exact", "bound", "safe", "summary"], method_rows
+        )
+    )
+    return text, table
+
+
 def _cmd_all(args):
     """Regenerate every artefact in one pass (paper-exact parts first)."""
     sections = [
@@ -283,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list registered scenarios and exit"
     )
 
+    sub.add_parser(
+        "solvers",
+        parents=[common],
+        help="list registered allocator/analysis backends and capabilities",
+    )
+
     p_all = sub.add_parser(
         "all", parents=[common], help="regenerate every artefact in one pass"
     )
@@ -310,6 +358,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "sensitivity": _cmd_sensitivity,
     "study": _cmd_study,
+    "solvers": _cmd_solvers,
     "all": _cmd_all,
 }
 

@@ -3,23 +3,33 @@
 Given analysed applications, pack them onto the minimum number of shared
 TT slots such that every application remains schedulable.  The paper
 uses a first-fit heuristic over applications sorted by priority
-(deadline); finding the optimum is NP-hard, but for small sets the
-exhaustive partition search here confirms the heuristic's quality.
+(deadline); finding the optimum is NP-hard.
+
+This module holds the allocation *data model* —
+:class:`AllocationResult` and :func:`make_analyzed` — and thin
+deprecation shims over the pluggable backends in :mod:`repro.solvers`:
+``first_fit_allocation`` et al. delegate to the registered allocator of
+the same name.  New code should call the registry directly::
+
+    from repro.solvers import allocate, get_allocator
+
+    result = allocate("branch-and-bound", apps, method="closed-form")
+    get_allocator("anneal").to_dict()   # capability metadata
+
+which also unlocks the backends without legacy wrappers
+(``branch-and-bound``, ``anneal``, and any third-party registration).
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.schedulability import (
     AnalyzedApplication,
     ResponseAnalysis,
-    analyze_slot,
-    is_slot_schedulable,
 )
-from repro.core.timing_params import TimingParameters, priority_order
+from repro.core.timing_params import TimingParameters
 from repro.core.pwl import from_timing_parameters
 
 
@@ -34,12 +44,18 @@ class AllocationResult:
     analyses:
         Final per-application worst-case analysis, keyed by name.
     method:
-        Wait-time analysis method used (``closed-form``/``fixed-point``).
+        Wait-time analysis method used (any registered name, e.g.
+        ``closed-form``/``fixed-point``).
+    stats:
+        Optional JSON-safe backend diagnostics (search nodes, bounds,
+        feasibility-cache hit rates); ``None`` for the simple
+        heuristics.  Excluded from equality comparison.
     """
 
     slots: List[List[AnalyzedApplication]]
     analyses: Dict[str, ResponseAnalysis]
     method: str
+    stats: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     @property
     def slot_count(self) -> int:
@@ -70,19 +86,6 @@ def make_analyzed(
     ]
 
 
-def _require_fits_alone(app: AnalyzedApplication, method: str) -> None:
-    """Shared feasibility guard for the packing heuristics.
-
-    Opening a fresh slot only helps if the application is schedulable
-    on a slot all of its own; otherwise no packing can succeed.
-    """
-    if not is_slot_schedulable([app], method=method):
-        raise ValueError(
-            f"application {app.name} cannot meet its deadline even on "
-            "a dedicated TT slot"
-        )
-
-
 def first_fit_allocation(
     apps: Sequence[AnalyzedApplication],
     method: str = "closed-form",
@@ -90,96 +93,57 @@ def first_fit_allocation(
 ) -> AllocationResult:
     """The paper's first-fit heuristic.
 
-    Applications are taken in decreasing priority (shortest deadline
-    first).  Each is tentatively added to the earliest existing slot; if
-    the whole slot (including previously placed applications, whose
-    schedulability the newcomer can break) remains schedulable it stays,
-    otherwise the next slot is tried, and a fresh slot is opened when
-    none fits.
-
-    Parameters
-    ----------
-    apps:
-        Applications to place.
-    method:
-        Wait-time analysis method.
-    max_slots:
-        Optional cap; exceeding it raises :class:`ValueError` (the paper
-        assumes the result fits within the bus's ``m`` static slots).
+    .. deprecated::
+        Shim over the registered ``first-fit`` backend; prefer
+        ``repro.solvers.allocate("first-fit", apps, ...)``.
     """
-    slots: List[List[AnalyzedApplication]] = []
-    for app in priority_order(apps):
-        placed = False
-        for slot in slots:
-            candidate = slot + [app]
-            if is_slot_schedulable(candidate, method=method):
-                slot.append(app)
-                placed = True
-                break
-        if not placed:
-            _require_fits_alone(app, method)
-            slots.append([app])
-            if max_slots is not None and len(slots) > max_slots:
-                raise ValueError(
-                    f"allocation needs more than the available {max_slots} TT slots"
-                )
-    return _finalize(slots, method)
+    from repro.solvers import allocate
+
+    return allocate("first-fit", apps, method=method, max_slots=max_slots)
 
 
 def best_fit_allocation(
     apps: Sequence[AnalyzedApplication],
     method: str = "closed-form",
 ) -> AllocationResult:
-    """Best-fit variant: place each application on the *fullest* slot
-    (most applications) that still keeps everyone schedulable.
+    """Best-fit variant: fullest still-schedulable slot wins.
 
-    Packs tighter than first-fit on some instances; provided as an
-    alternative heuristic for comparison.
+    .. deprecated::
+        Shim over the registered ``best-fit`` backend; prefer
+        ``repro.solvers.allocate("best-fit", apps, ...)``.
     """
-    return _fit_by(apps, method, lambda candidates: max(candidates, key=len))
+    from repro.solvers import allocate
+
+    return allocate("best-fit", apps, method=method)
 
 
 def worst_fit_allocation(
     apps: Sequence[AnalyzedApplication],
     method: str = "closed-form",
 ) -> AllocationResult:
-    """Worst-fit variant: place each application on the *emptiest*
-    feasible slot, spreading load across slots.
+    """Worst-fit variant: emptiest feasible slot wins.
 
-    Never beats first-fit on slot count (it only opens slots the other
-    heuristics would too) but yields more slack per slot; useful as a
-    robustness-oriented baseline.
+    .. deprecated::
+        Shim over the registered ``worst-fit`` backend; prefer
+        ``repro.solvers.allocate("worst-fit", apps, ...)``.
     """
-    return _fit_by(apps, method, lambda candidates: min(candidates, key=len))
+    from repro.solvers import allocate
 
-
-def _fit_by(
-    apps: Sequence[AnalyzedApplication],
-    method: str,
-    choose: Callable[[List[List[AnalyzedApplication]]], List[AnalyzedApplication]],
-) -> AllocationResult:
-    """Shared packing loop for the choose-a-feasible-slot heuristics."""
-    slots: List[List[AnalyzedApplication]] = []
-    for app in priority_order(apps):
-        candidates = [
-            slot
-            for slot in slots
-            if is_slot_schedulable(slot + [app], method=method)
-        ]
-        if candidates:
-            choose(candidates).append(app)
-            continue
-        _require_fits_alone(app, method)
-        slots.append([app])
-    return _finalize(slots, method)
+    return allocate("worst-fit", apps, method=method)
 
 
 def dedicated_allocation(
     apps: Sequence[AnalyzedApplication], method: str = "closed-form"
 ) -> AllocationResult:
-    """Baseline: one dedicated TT slot per application (no sharing)."""
-    slots = [[app] for app in priority_order(apps)]
-    return _finalize(slots, method)
+    """Baseline: one dedicated TT slot per application (no sharing).
+
+    .. deprecated::
+        Shim over the registered ``dedicated`` backend; prefer
+        ``repro.solvers.allocate("dedicated", apps, ...)``.
+    """
+    from repro.solvers import allocate
+
+    return allocate("dedicated", apps, method=method)
 
 
 def optimal_allocation(
@@ -189,55 +153,20 @@ def optimal_allocation(
 ) -> AllocationResult:
     """Exhaustive minimum-slot partition search (small instances only).
 
-    Enumerates set partitions in order of increasing block count and
-    returns the first fully schedulable one.  Complexity is the Bell
-    number of ``len(apps)``; refuse anything beyond ``max_apps``.
+    Oversized instances raise
+    :class:`~repro.solvers.InstanceTooLargeError` (a :class:`ValueError`
+    the CLI maps to a clean exit code 2); the ``branch-and-bound``
+    backend proves the same optimum for instances twice this size.
+
+    .. deprecated::
+        Shim over the registered ``optimal`` backend; prefer
+        ``repro.solvers.allocate("optimal", apps, ...)`` — or
+        ``allocate("branch-and-bound", ...)`` for anything beyond toy
+        sizes.
     """
-    apps = list(priority_order(apps))
-    if len(apps) > max_apps:
-        raise ValueError(
-            f"optimal allocation is exponential; refusing {len(apps)} apps "
-            f"(max_apps={max_apps})"
-        )
-    for count in range(1, len(apps) + 1):
-        for partition in _partitions_into(apps, count):
-            if all(is_slot_schedulable(slot, method=method) for slot in partition):
-                return _finalize([list(slot) for slot in partition], method)
-    # Dedicated slots are always a valid partition if each app alone is
-    # schedulable; reaching here means some app misses even alone.
-    raise ValueError("no schedulable allocation exists (some deadline < xi_tt?)")
+    from repro.solvers import allocate
 
-
-def _partitions_into(items: List, blocks: int):
-    """Yield all partitions of ``items`` into exactly ``blocks`` groups."""
-    if blocks == 1:
-        yield [items]
-        return
-    if blocks == len(items):
-        yield [[item] for item in items]
-        return
-    if blocks > len(items):
-        return
-    first, rest = items[0], items[1:]
-    # Either `first` joins an existing block of a (blocks)-partition of rest...
-    for partition in _partitions_into(rest, blocks):
-        for index in range(len(partition)):
-            yield (
-                partition[:index]
-                + [[first] + partition[index]]
-                + partition[index + 1:]
-            )
-    # ...or forms its own block atop a (blocks-1)-partition of rest.
-    for partition in _partitions_into(rest, blocks - 1):
-        yield [[first]] + partition
-
-
-def _finalize(slots: List[List[AnalyzedApplication]], method: str) -> AllocationResult:
-    analyses: Dict[str, ResponseAnalysis] = {}
-    for slot in slots:
-        for result in analyze_slot(slot, method=method):
-            analyses[result.name] = result
-    return AllocationResult(slots=slots, analyses=analyses, method=method)
+    return allocate("optimal", apps, method=method, max_apps=max_apps)
 
 
 def compare_resource_usage(

@@ -195,33 +195,28 @@ def analyze_application(
     sharers:
         The other applications assigned to the same slot.
     method:
-        ``"closed-form"`` (paper Sec. V, Eq. 20) or ``"fixed-point"``
-        (exact Eq. 5 iteration).
+        Any registered analysis-method name — the built-ins are
+        ``"closed-form"`` (paper Sec. V, Eq. 20), ``"fixed-point"``
+        (exact Eq. 5 iteration), and ``"lower-bound"`` (Eq. 21, gap
+        studies only).  Unknown names raise
+        :class:`~repro.solvers.UnknownSolverError` (a
+        :class:`ValueError`) listing the registered methods.
     """
+    # Dispatched through the pluggable analysis-method registry; the
+    # import is deferred to call time because the backend modules import
+    # this one.
+    from repro.solvers.registry import get_analysis_method
+
+    spec = get_analysis_method(method)
     higher, lower = split_by_priority(app, sharers)
-    if method == "closed-form":
-        try:
-            max_wait = max_wait_closed_form(lower, higher)
-        except UnschedulableError:
-            return ResponseAnalysis(
-                name=app.name,
-                max_wait=math.inf,
-                worst_response=math.inf,
-                deadline=app.deadline,
-            )
-    elif method == "fixed-point":
-        try:
-            max_wait = max_wait_fixed_point(lower, higher)
-        except UnschedulableError:
-            return ResponseAnalysis(
-                name=app.name,
-                max_wait=math.inf,
-                worst_response=math.inf,
-                deadline=app.deadline,
-            )
-    else:
-        raise ValueError(
-            f"unknown method {method!r}; expected 'closed-form' or 'fixed-point'"
+    try:
+        max_wait = spec(lower, higher)
+    except UnschedulableError:
+        return ResponseAnalysis(
+            name=app.name,
+            max_wait=math.inf,
+            worst_response=math.inf,
+            deadline=app.deadline,
         )
     worst_response = app.dwell_model.worst_response_time(max_wait)
     return ResponseAnalysis(

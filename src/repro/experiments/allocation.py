@@ -14,13 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.allocation import (
-    AllocationResult,
-    compare_resource_usage,
-    dedicated_allocation,
-    first_fit_allocation,
-    optimal_allocation,
-)
+from repro.core.allocation import AllocationResult, compare_resource_usage
 from repro.experiments.casestudy import CaseStudyApplication
 from repro.experiments.reporting import format_table
 
@@ -122,18 +116,29 @@ def run_simulation_allocation(
             study.raise_for_failure().attachments.allocation for study in studies
         )
     else:
-        non_monotonic = first_fit_allocation(
-            [app.analyzed("non-monotonic") for app in applications], method=method
+        from repro.solvers import allocate, get_allocator
+
+        non_monotonic = allocate(
+            "first-fit",
+            [app.analyzed("non-monotonic") for app in applications],
+            method=method,
         )
-        monotonic = first_fit_allocation(
+        monotonic = allocate(
+            "first-fit",
             [app.analyzed("conservative-monotonic") for app in applications],
             method=method,
         )
-        dedicated = dedicated_allocation(
-            [app.analyzed("non-monotonic") for app in applications]
+        dedicated = allocate(
+            "dedicated", [app.analyzed("non-monotonic") for app in applications]
         )
-        optimal = optimal_allocation(
-            [app.analyzed("non-monotonic") for app in applications]
+        # Exhaustive enumeration on toy rosters, branch-and-bound (the
+        # same proven optimum, pruned) once past its practical ceiling.
+        exhaustive_limit = get_allocator("optimal").max_apps or 10
+        exact_backend = (
+            "optimal" if len(applications) <= exhaustive_limit else "branch-and-bound"
+        )
+        optimal = allocate(
+            exact_backend, [app.analyzed("non-monotonic") for app in applications]
         )
     return AllocationComparison(
         label="simulated plants",

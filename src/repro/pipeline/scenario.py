@@ -23,10 +23,20 @@ from repro.flexray.params import FlexRayConfig
 SOURCES = ("paper", "simulation", "servo")
 #: Dwell-model shapes supported by the characterisation pipeline.
 DWELL_SHAPES = ("non-monotonic", "conservative-monotonic")
-#: Wait-time analysis methods (paper Eq. 20 vs exact Eq. 5).
-METHODS = ("closed-form", "fixed-point")
-#: TT-slot packing heuristics.
-ALLOCATORS = ("first-fit", "best-fit", "worst-fit", "dedicated", "optimal")
+#: Built-in wait-time analysis methods.  Validation goes through the
+#: :mod:`repro.solvers` registry, so third-party registrations are
+#: accepted too; this tuple documents what ships in the box.
+METHODS = ("closed-form", "fixed-point", "lower-bound")
+#: Built-in TT-slot allocator backends (same registry-backed deal).
+ALLOCATORS = (
+    "first-fit",
+    "best-fit",
+    "worst-fit",
+    "dedicated",
+    "optimal",
+    "branch-and-bound",
+    "anneal",
+)
 #: Co-simulation network models.
 NETWORKS = ("analytic", "flexray")
 
@@ -85,9 +95,13 @@ class Scenario:
     dwell_shape:
         PWL dwell-model shape used for the analysis.
     method:
-        Wait-time analysis method.
+        Wait-time analysis method (any name in the
+        :mod:`repro.solvers` analysis-method registry).
     allocator:
-        TT-slot packing strategy.
+        TT-slot packing strategy (any name in the allocator registry).
+        Names are validated at construction time, so deserializing a
+        scenario that used a third-party backend requires importing the
+        module that registers it first.
     deadline_scale:
         Multiplicative deadline-tightness factor (clamped to each
         application's minimum inter-arrival time).
@@ -123,8 +137,8 @@ class Scenario:
             raise ValueError("a scenario needs a non-empty name")
         _check_choice("source", self.source, SOURCES)
         _check_choice("dwell_shape", self.dwell_shape, DWELL_SHAPES)
-        _check_choice("method", self.method, METHODS)
-        _check_choice("allocator", self.allocator, ALLOCATORS)
+        _check_registered_method(self.method)
+        _check_registered_allocator(self.allocator)
         _check_choice("network", self.network, NETWORKS)
         if self.apps is not None:
             object.__setattr__(self, "apps", tuple(str(a) for a in self.apps))
@@ -177,6 +191,33 @@ def _check_choice(field_name: str, value: str, choices: Tuple[str, ...]) -> None
         raise ValueError(
             f"unknown {field_name} {value!r}; expected one of {list(choices)}"
         )
+
+
+def _check_registered_allocator(value: str) -> None:
+    """Validate against the live solver registry (not a frozen tuple),
+    so an allocator registered by a third party is immediately a legal
+    scenario value.  Imported lazily: the backends import ``repro.core``
+    and must not load while this module does."""
+    from repro.solvers import UnknownSolverError, get_allocator
+
+    try:
+        get_allocator(value)
+    except UnknownSolverError as exc:
+        raise ValueError(
+            f"{exc} (register your own with repro.solvers.register_allocator)"
+        ) from None
+
+
+def _check_registered_method(value: str) -> None:
+    """Same registry-backed validation for the wait-analysis method."""
+    from repro.solvers import UnknownSolverError, get_analysis_method
+
+    try:
+        get_analysis_method(value)
+    except UnknownSolverError as exc:
+        raise ValueError(
+            f"{exc} (register your own with repro.solvers.register_analysis_method)"
+        ) from None
 
 
 __all__ = [

@@ -18,14 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.control.disturbance import OneShotDisturbance
-from repro.core.allocation import (
-    AllocationResult,
-    best_fit_allocation,
-    dedicated_allocation,
-    first_fit_allocation,
-    optimal_allocation,
-    worst_fit_allocation,
-)
+from repro.core.allocation import AllocationResult
 from repro.core.characterization import characterize_curve
 from repro.core.pwl import from_timing_parameters
 from repro.core.schedulability import AnalyzedApplication, is_slot_schedulable
@@ -272,26 +265,31 @@ def stage_analyze(ctx: StudyContext) -> Dict[str, Any]:
     }
 
 
-_ALLOCATORS = {
-    "first-fit": first_fit_allocation,
-    "best-fit": best_fit_allocation,
-    "worst-fit": worst_fit_allocation,
-    "dedicated": dedicated_allocation,
-    "optimal": optimal_allocation,
-}
-
-
 def stage_allocate(ctx: StudyContext) -> Dict[str, Any]:
-    """Pack the applications onto the minimum number of shared TT slots."""
+    """Pack the applications onto shared TT slots.
+
+    Dispatches through the :mod:`repro.solvers` allocator registry, so
+    any registered backend — built-in or third-party — runs here with no
+    pipeline changes.  Backend capability metadata and search
+    diagnostics (when the backend reports them) land in the artifact.
+    """
+    from repro.solvers import get_allocator, get_analysis_method
+
     scenario = ctx.scenario
-    allocate = _ALLOCATORS[scenario.allocator]
-    ctx.allocation = allocate(ctx.analyzed, method=scenario.method)
+    spec = get_allocator(scenario.allocator)
+    method_spec = get_analysis_method(scenario.method)
+    ctx.allocation = spec(ctx.analyzed, method=scenario.method)
     allocation = ctx.allocation
     bus = (scenario.bus.to_config() if scenario.bus else paper_bus_config())
     usage = static_segment_usage(allocation.slot_count, bus.static_slots)
     return {
         "allocator": scenario.allocator,
+        "allocator_capabilities": spec.to_dict(),
+        "solver_stats": to_jsonable(allocation.stats),
         "method": scenario.method,
+        # Carries `safe`: results from a lower-bound method are
+        # optimistic and must not be read as deadline guarantees.
+        "method_capabilities": method_spec.to_dict(),
         "slot_count": allocation.slot_count,
         "slots": to_jsonable(allocation.slot_names),
         "analyses": {

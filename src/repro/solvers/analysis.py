@@ -1,0 +1,74 @@
+"""Built-in maximum-wait analysis methods, registered.
+
+Unifies the paper's three wait-time characterisations behind the
+:class:`~repro.solvers.types.AnalysisMethodSpec` interface:
+
+* ``closed-form`` — the Eq. 20 upper bound ``a' / (1 - m)`` (Section V
+  uses this as *the* maximum wait);
+* ``fixed-point`` — the exact Eq. 5 fixed point, iterated;
+* ``lower-bound`` — the Eq. 21 bound ``a / (1 - m)``.  Optimistic by
+  construction (``safe=False``): use it for bound-gap studies, never to
+  certify deadlines.
+
+Each delegates to the corresponding :mod:`repro.core.schedulability`
+function; :func:`~repro.core.schedulability.analyze_application`
+dispatches back through the registry, so a method registered here (or by
+a third party) is immediately usable as ``Scenario(method=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    max_wait_closed_form,
+    max_wait_fixed_point,
+    max_wait_lower_bound,
+)
+from repro.solvers.registry import register_analysis_method
+
+
+@register_analysis_method(
+    "closed-form",
+    summary="paper Eq. 20 upper bound a'/(1-m) (Section V default)",
+    exact=False,
+    bound="upper",
+    safe=True,
+)
+def closed_form(
+    lower_priority: Sequence[AnalyzedApplication],
+    higher_priority: Sequence[AnalyzedApplication],
+) -> float:
+    return max_wait_closed_form(lower_priority, higher_priority)
+
+
+@register_analysis_method(
+    "fixed-point",
+    summary="exact Eq. 5 fixed-point iteration",
+    exact=True,
+    bound="exact",
+    safe=True,
+)
+def fixed_point(
+    lower_priority: Sequence[AnalyzedApplication],
+    higher_priority: Sequence[AnalyzedApplication],
+) -> float:
+    return max_wait_fixed_point(lower_priority, higher_priority)
+
+
+@register_analysis_method(
+    "lower-bound",
+    summary="paper Eq. 21 lower bound a/(1-m); gap studies only, unsafe",
+    exact=False,
+    bound="lower",
+    safe=False,
+)
+def lower_bound(
+    lower_priority: Sequence[AnalyzedApplication],
+    higher_priority: Sequence[AnalyzedApplication],
+) -> float:
+    return max_wait_lower_bound(lower_priority, higher_priority)
+
+
+__all__ = ["closed_form", "fixed_point", "lower_bound"]

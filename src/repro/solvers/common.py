@@ -1,0 +1,139 @@
+"""Shared machinery for allocator backends.
+
+Hosts the pieces every packing strategy needs: the final
+slot-list -> :class:`~repro.core.allocation.AllocationResult` conversion,
+the fits-alone feasibility guard, and the frozenset-keyed
+:class:`FeasibilityCache` that memoizes slot-schedulability queries for
+the search-based backends (branch-and-bound probes the same candidate
+slots along many branches; annealing revisits them across moves).
+
+Slot schedulability is *monotone*: analysing an application against a
+superset of sharers can only increase its blocking term and interference
+utilisation, so an infeasible set stays infeasible under any extension.
+The exact searches rely on this to prune with pairwise conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.allocation import AllocationResult
+from repro.core.schedulability import (
+    AnalyzedApplication,
+    analyze_slot,
+    is_slot_schedulable,
+)
+from repro.solvers.types import InfeasibleAllocationError
+
+
+def finalize_slots(
+    slots: List[List[AnalyzedApplication]],
+    method: str,
+    stats: Optional[Dict[str, Any]] = None,
+) -> AllocationResult:
+    """Wrap packed slots into an :class:`AllocationResult`.
+
+    Runs the final per-application analysis on every slot so the result
+    carries the worst-case numbers callers report.
+    """
+    analyses = {}
+    for slot in slots:
+        for result in analyze_slot(slot, method=method):
+            analyses[result.name] = result
+    return AllocationResult(
+        slots=slots, analyses=analyses, method=method, stats=stats
+    )
+
+
+def require_fits_alone(app: AnalyzedApplication, method: str) -> None:
+    """Raise unless ``app`` is schedulable on a dedicated slot.
+
+    Opening a fresh slot only helps if the application is schedulable on
+    a slot all of its own; otherwise no packing can succeed.
+    """
+    if not is_slot_schedulable([app], method=method):
+        raise InfeasibleAllocationError(
+            f"application {app.name} cannot meet its deadline even on "
+            "a dedicated TT slot"
+        )
+
+
+class FeasibilityCache:
+    """Memoized slot-schedulability oracle over a fixed application list.
+
+    Queries are keyed by the ``frozenset`` of application *indices* into
+    the list given at construction, so permutation-equivalent candidate
+    slots hit the same entry.  Hit/miss counters feed the scale
+    benchmark's cache-effectiveness report.
+    """
+
+    def __init__(self, apps: Sequence[AnalyzedApplication], method: str):
+        self.apps = list(apps)
+        self.method = method
+        self._table: Dict[FrozenSet[int], bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def schedulable(self, indices: FrozenSet[int]) -> bool:
+        """Whether the slot holding exactly these applications works."""
+        try:
+            verdict = self._table[indices]
+        except KeyError:
+            self.misses += 1
+            verdict = is_slot_schedulable(
+                [self.apps[i] for i in indices], method=self.method
+            )
+            self._table[indices] = verdict
+            return verdict
+        self.hits += 1
+        return verdict
+
+    @property
+    def entries(self) -> int:
+        return len(self._table)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe cache-effectiveness record."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+    def slots_of(self, index_slots: Sequence[Sequence[int]]) -> List[List[AnalyzedApplication]]:
+        """Translate index slots back into application slots."""
+        return [[self.apps[i] for i in slot] for slot in index_slots]
+
+
+def greedy_first_fit_indices(
+    cache: FeasibilityCache, order: Sequence[int]
+) -> List[List[int]]:
+    """Index-level first-fit packing through a feasibility cache.
+
+    Seeds the exact and randomized searches with a feasible incumbent
+    while warming the cache they will keep probing.  Assumes every app
+    fits alone (callers guard via :func:`require_fits_alone`).
+    """
+    slots: List[List[int]] = []
+    for index in order:
+        for slot in slots:
+            if cache.schedulable(frozenset(slot) | {index}):
+                slot.append(index)
+                break
+        else:
+            slots.append([index])
+    return slots
+
+
+__all__ = [
+    "FeasibilityCache",
+    "finalize_slots",
+    "greedy_first_fit_indices",
+    "require_fits_alone",
+]

@@ -30,6 +30,7 @@ class TestTopLevelApi:
             "repro.core",
             "repro.sim",
             "repro.baselines",
+            "repro.solvers",
             "repro.experiments",
             "repro.cli",
         ],

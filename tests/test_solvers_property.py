@@ -1,0 +1,141 @@
+"""Cross-allocator property tests (ISSUE 2 satellite).
+
+On randomized schedulable instances of up to 8 applications:
+
+* ``branch-and-bound`` returns the same minimum slot count as the
+  exhaustive ``optimal`` partition search, and
+* no registered heuristic ever packs into fewer slots than the proven
+  optimum (that would falsify the optimality proof — or the heuristic's
+  feasibility checking).
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import make_analyzed
+from repro.core.schedulability import is_slot_schedulable
+from repro.core.timing_params import TimingParameters
+from repro.solvers import allocate, allocators
+
+
+@st.composite
+def schedulable_rosters(draw, max_apps=8):
+    """Random rosters whose applications are at least feasible alone."""
+    n = draw(st.integers(min_value=1, max_value=max_apps))
+    apps = []
+    for i in range(n):
+        xi_tt = draw(st.floats(min_value=0.1, max_value=1.2))
+        xi_m = xi_tt * draw(st.floats(min_value=1.0, max_value=2.0))
+        xi_et = xi_m * draw(st.floats(min_value=2.0, max_value=4.0))
+        deadline = xi_tt + draw(st.floats(min_value=0.5, max_value=15.0))
+        r = deadline * draw(st.floats(min_value=1.0, max_value=5.0))
+        apps.append(
+            TimingParameters(
+                name=f"A{i}",
+                min_inter_arrival=r,
+                deadline=deadline,
+                xi_tt=xi_tt,
+                xi_et=xi_et,
+                xi_m=xi_m,
+                k_p=0.3 * xi_et,
+                xi_m_mono=1.2 * xi_m,
+            )
+        )
+    analyzed = make_analyzed(apps, "non-monotonic")
+    assume(all(is_slot_schedulable([app]) for app in analyzed))
+    return analyzed
+
+
+class TestExactBackendsAgree:
+    @given(apps=schedulable_rosters())
+    @settings(max_examples=40, deadline=None)
+    def test_branch_and_bound_matches_exhaustive_optimum(self, apps):
+        exhaustive = allocate("optimal", apps)
+        bnb = allocate("branch-and-bound", apps)
+        assert bnb.slot_count == exhaustive.slot_count
+        assert bnb.all_schedulable()
+        for slot in bnb.slots:
+            assert is_slot_schedulable(slot)
+
+    @given(apps=schedulable_rosters(), method=st.sampled_from(["closed-form", "fixed-point"]))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_holds_across_analysis_methods(self, apps, method):
+        exhaustive = allocate("optimal", apps, method=method)
+        bnb = allocate("branch-and-bound", apps, method=method)
+        assert bnb.slot_count == exhaustive.slot_count
+
+
+class TestNoHeuristicBeatsTheOptimum:
+    @given(apps=schedulable_rosters())
+    @settings(max_examples=25, deadline=None)
+    def test_every_registered_heuristic_bounded_below_by_optimum(self, apps):
+        optimum = allocate("branch-and-bound", apps).slot_count
+        for spec in allocators():
+            options = {"seed": 0, "iterations": 200} if spec.randomized else {}
+            result = spec(apps, method="closed-form", **options)
+            assert result.slot_count >= optimum, (
+                f"{spec.name} claims {result.slot_count} slots, below the "
+                f"proven optimum {optimum}"
+            )
+            placed = sorted(n for slot in result.slot_names for n in slot)
+            assert placed == sorted(app.name for app in apps)
+            if not spec.optimal:
+                continue
+            assert result.slot_count == optimum
+
+
+class TestAnnealScales:
+    def test_large_fleet_stays_feasible_and_packs(self):
+        """The 100+ app workload the exact backends refuse."""
+        roster = []
+        for i in range(100):
+            # Deterministic pseudo-random spread, no RNG dependency.
+            xi_tt = 0.2 + 0.015 * (i % 13)
+            xi_m = xi_tt * (1.1 + 0.04 * (i % 7))
+            deadline = xi_m * (5.0 + (i % 11))
+            roster.append(
+                TimingParameters(
+                    name=f"F{i:03d}",
+                    min_inter_arrival=deadline * (2.0 + (i % 3)),
+                    deadline=deadline,
+                    xi_tt=xi_tt,
+                    xi_et=3.0 * xi_m,
+                    xi_m=xi_m,
+                    k_p=0.9 * xi_m,
+                    xi_m_mono=1.3 * xi_m,
+                )
+            )
+        apps = make_analyzed(roster, "non-monotonic")
+        result = allocate("anneal", apps, seed=1, iterations=1500)
+        assert result.all_schedulable()
+        assert result.slot_count < len(apps)  # real sharing happened
+        first_fit = allocate("first-fit", apps)
+        assert result.slot_count <= first_fit.slot_count
+        assert result.stats["feasibility_cache"]["hit_rate"] > 0.0
+
+
+class TestBranchAndBoundAtTwenty:
+    def test_proves_optimality_at_twenty_apps(self):
+        """The exact-solve ceiling the refactor lifts (seed refused >10)."""
+        roster = [
+            TimingParameters(
+                name=f"T{i:02d}",
+                min_inter_arrival=80.0 + 5.0 * (i % 5),
+                deadline=6.0 + 0.35 * i,
+                xi_tt=0.35,
+                xi_et=3.5,
+                xi_m=1.0 + 0.05 * (i % 4),
+                k_p=0.6,
+                xi_m_mono=1.6,
+            )
+            for i in range(20)
+        ]
+        apps = make_analyzed(roster, "non-monotonic")
+        with pytest.raises(ValueError, match="exponential"):
+            allocate("optimal", apps)
+        result = allocate("branch-and-bound", apps)
+        assert result.all_schedulable()
+        assert result.slot_count <= allocate("first-fit", apps).slot_count
+        stats = result.stats
+        assert stats["lower_bound"] <= stats["optimal_slot_count"]
