@@ -1,0 +1,123 @@
+"""Benchmark — co-simulation throughput (ISSUE 3 tentpole).
+
+Times a 32-scenario Monte-Carlo co-simulation grid (the Figure 5 fleet,
+sporadic disturbances, FlexRay frame loss, seeds 0..31) through
+``run_many`` with thread workers vs a process pool, plus the event vs
+legacy kernel on one scenario, and writes the numbers to
+``BENCH_cosim.json`` at the repository root.
+
+The co-simulation loop is pure Python, so thread workers serialize on
+the GIL; the process pool is the scaling path.  The ``>= 2x`` speedup
+acceptance bar is asserted only where it is physically possible
+(``cpu_count >= 4``) — the JSON records the honest measurement either
+way, including the core count it was taken on.
+
+Smoke mode for CI: set ``REPRO_COSIM_BENCH_SMOKE=1`` to shrink the grid
+and horizon so the job finishes in seconds while still exercising both
+executors end-to-end.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import run_kernel_ablation, simulation_applications
+from repro.pipeline import get_scenario, run_many
+from repro.sim import GLOBAL_ZOH_CACHE
+
+_SMOKE = os.environ.get("REPRO_COSIM_BENCH_SMOKE", "") not in ("", "0")
+GRID_SIZE = 4 if _SMOKE else 32
+HORIZON = 4.0 if _SMOKE else 20.0
+WAIT_STEP = 16 if _SMOKE else 8
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_cosim.json"
+
+
+def _grid(size):
+    """``size`` co-sim scenarios: one shared design, per-seed randomness."""
+    base = get_scenario("fig5-cosim").derive(
+        name="bench-cosim",
+        wait_step=WAIT_STEP,
+        horizon=HORIZON,
+        disturbance="sporadic",
+        loss_rate=0.01,
+    )
+    return [base.derive(name=f"bench-cosim#seed{s}", seed=s) for s in range(size)]
+
+
+def test_bench_cosim_grid_thread_vs_process():
+    """Record the thread-vs-process wall clock on the co-sim grid."""
+    # Warm the process-wide dwell cache first so both executors measure
+    # pure co-simulation throughput (workers fork warm where the
+    # platform supports it; thread workers share this cache directly).
+    simulation_applications(wait_step=WAIT_STEP)
+    scenarios = _grid(GRID_SIZE)
+    workers = max(2, min(8, os.cpu_count() or 1))
+
+    started = time.perf_counter()
+    thread_results = run_many(scenarios, max_workers=workers, executor="thread")
+    thread_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    process_results = run_many(scenarios, max_workers=workers, executor="process")
+    process_seconds = time.perf_counter() - started
+
+    assert all(r.ok for r in thread_results)
+    assert all(r.ok for r in process_results)
+    # Same seeds, same design: the two executors must agree on physics.
+    thread_qoc = [r.artifact("cosim")["qoc"] for r in thread_results]
+    process_qoc = [r.artifact("cosim")["qoc"] for r in process_results]
+    assert thread_qoc == process_qoc
+
+    kernels = run_kernel_ablation(wait_step=WAIT_STEP, horizon=HORIZON)
+    assert kernels.traces_identical
+
+    speedup = thread_seconds / process_seconds if process_seconds else float("inf")
+    payload = {
+        "benchmark": "cosim-throughput",
+        "smoke": _SMOKE,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "grid_size": GRID_SIZE,
+        "horizon_seconds": HORIZON,
+        "wait_step": WAIT_STEP,
+        "thread_seconds": round(thread_seconds, 3),
+        "process_seconds": round(process_seconds, 3),
+        "speedup_process_vs_thread": round(speedup, 3),
+        "scenarios_per_second": {
+            "thread": round(GRID_SIZE / thread_seconds, 3),
+            "process": round(GRID_SIZE / process_seconds, 3),
+        },
+        "kernel": {
+            "scenario": kernels.scenario,
+            "event_cosim_seconds": round(kernels.event_seconds, 3),
+            "legacy_cosim_seconds": round(kernels.legacy_seconds, 3),
+            "traces_bitwise_identical": kernels.traces_identical,
+            "samples": kernels.samples,
+        },
+        "zoh_cache": GLOBAL_ZOH_CACHE.stats(),
+        "generated_unix": round(time.time(), 1),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\ncosim grid ({GRID_SIZE} scenarios, {workers} workers): "
+        f"thread {thread_seconds:.2f}s, process {process_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x -> {OUTPUT.name}"
+    )
+    # The acceptance bar needs real cores; a 1-2 core runner cannot
+    # express a 2x parallel win and records the honest number instead.
+    if not _SMOKE and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"process pool speedup {speedup:.2f}x below the 2x bar "
+            f"on {os.cpu_count()} cores"
+        )
+
+
+def test_bench_cosim_json_is_valid():
+    """The artifact exists (this run or a committed one) and parses."""
+    assert OUTPUT.exists(), "BENCH_cosim.json missing; run the grid bench first"
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["benchmark"] == "cosim-throughput"
+    assert payload["grid_size"] >= 4
+    assert payload["kernel"]["traces_bitwise_identical"] is True
+    assert payload["speedup_process_vs_thread"] > 0

@@ -10,7 +10,8 @@ Usage::
     python -m repro ablations [--which segments|fixed-point|threshold|all]
     python -m repro validate [--seeds N]
     python -m repro sensitivity [--scales 0.5 1.0 2.0]
-    python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--list]
+    python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--seed N]
+    python -m repro sweep [--scenario NAME] [--axis FIELD=V1,V2] [--replications N]
     python -m repro solvers
 
 Every command accepts ``--json`` to emit machine-readable results
@@ -37,6 +38,7 @@ from repro.experiments import (
     run_fig5,
     run_fixed_point_ablation,
     run_jitter_ablation,
+    run_kernel_ablation,
     run_paper_allocation,
     run_pure_et_baseline,
     run_segment_ablation,
@@ -115,6 +117,9 @@ def _cmd_ablations(args):
     if args.which in ("jitter", "all"):
         data["jitter"] = run_jitter_ablation(wait_step=_wait_step(args))
         texts.append(data["jitter"].report())
+    if args.which in ("kernel", "all"):
+        data["kernel"] = run_kernel_ablation(wait_step=_wait_step(args))
+        texts.append(data["kernel"].report())
     return "\n\n".join(texts), data
 
 
@@ -163,12 +168,79 @@ def _cmd_study(args):
         selected = [
             s.derive(name=s.name, wait_step=_wait_step(args)) for s in selected
         ]
+    if args.seed is not None:
+        # Reproducible co-simulation from the shell: the seed reaches
+        # FlexRayNetwork.loss_seed and the sporadic disturbance streams.
+        selected = [s.derive(name=s.name, seed=args.seed) for s in selected]
     if args.grid:
         selected = [point for s in selected for point in scenario_grid(s)]
-    results = run_many(selected, max_workers=args.jobs)
+    results = run_many(selected, max_workers=args.jobs, executor=args.executor)
     text = "\n\n".join(result.summary() for result in results)
     data = results[0].to_dict() if len(results) == 1 else [r.to_dict() for r in results]
     return text, data
+
+
+def _parse_axis(text: str):
+    """``field=v1,v2,...`` with ints/floats/bools parsed, else strings."""
+    if "=" not in text:
+        raise ValueError(
+            f"bad --axis {text!r}; expected FIELD=VALUE[,VALUE...]"
+        )
+    name, _, raw = text.partition("=")
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        lowered = token.lower()
+        if lowered in ("true", "false"):
+            values.append(lowered == "true")
+            continue
+        for kind in (int, float):
+            try:
+                values.append(kind(token))
+                break
+            except ValueError:
+                continue
+        else:
+            values.append(token)
+    if not values:
+        raise ValueError(f"--axis {text!r} has no values")
+    return name.strip(), values
+
+
+def _cmd_sweep(args):
+    from repro.pipeline import get_scenario, run_sweep
+
+    try:
+        base = get_scenario(args.scenario)
+    except KeyError as exc:
+        raise ValueError(exc.args[0]) from None
+    if args.wait_step is not None:
+        base = base.derive(name=base.name, wait_step=_wait_step(args))
+    axes = {}
+    for text in args.axis or []:
+        name, values = _parse_axis(text)
+        if name in axes:
+            raise ValueError(
+                f"--axis {name!r} given twice; put every value in one flag, "
+                f"e.g. --axis {name}={','.join(map(str, axes[name] + values))}"
+            )
+        axes[name] = values
+    result = run_sweep(
+        base,
+        axes=axes,
+        replications=args.replications,
+        seed0=args.seed0,
+        executor=args.executor,
+        max_workers=args.jobs,
+        jsonl_path=args.output,
+        keep_results=False,
+    )
+    text = result.report()
+    if args.output:
+        text += f"\nper-run JSONL streamed to {args.output}"
+    return text, result.to_dict()
 
 
 def _cmd_solvers(args):
@@ -285,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_abl = sub.add_parser("ablations", parents=[common], help="E6-E8 ablations")
     p_abl.add_argument(
         "--which",
-        choices=["segments", "fixed-point", "threshold", "jitter", "all"],
+        choices=["segments", "fixed-point", "threshold", "jitter", "kernel", "all"],
         default="all",
     )
 
@@ -322,7 +394,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, help="parallel workers for the sweep"
     )
     p_study.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool kind (process sidesteps the GIL for co-sim grids)",
+    )
+    p_study.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base random seed (frame loss + sporadic disturbance arrivals)",
+    )
+    p_study.add_argument(
         "--list", action="store_true", help="list registered scenarios and exit"
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="seeded Monte-Carlo replication grid over one scenario",
+    )
+    p_sweep.add_argument(
+        "--scenario",
+        default="multirate-cosim-analytic",
+        metavar="NAME",
+        help="base scenario to expand (default multirate-cosim-analytic)",
+    )
+    p_sweep.add_argument(
+        "--axis",
+        action="append",
+        metavar="FIELD=V1,V2,...",
+        help="grid axis over a scenario field (repeatable), "
+        "e.g. --axis loss_rate=0,0.05 --axis deadline_scale=1,0.75",
+    )
+    p_sweep.add_argument(
+        "--replications",
+        type=int,
+        default=3,
+        help="seeded repeats per grid cell (default 3)",
+    )
+    p_sweep.add_argument(
+        "--seed0", type=int, default=0, help="first replication seed"
+    )
+    p_sweep.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool kind (process recommended for co-sim grids)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, help="parallel workers"
+    )
+    p_sweep.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="stream one JSON line per finished run to this file",
     )
 
     sub.add_parser(
@@ -358,6 +485,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "sensitivity": _cmd_sensitivity,
     "study": _cmd_study,
+    "sweep": _cmd_sweep,
     "solvers": _cmd_solvers,
     "all": _cmd_all,
 }

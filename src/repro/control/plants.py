@@ -280,6 +280,32 @@ def engine_idle_speed(
     )
 
 
+def motor_current_loop(
+    resistance: float = 0.05,
+    inductance: float = 0.005,
+) -> PlantDefinition:
+    """PM-motor q-axis current regulation (``di/dt = (-R i + u) / L``).
+
+    The one fast loop in the zoo: a low-resistance machine barely damps
+    its own current (open-loop pole at ``-R/L = -10``), so tight
+    regulation falls entirely on the controller, which samples at
+    ``h = 2 ms`` — an order of magnitude faster than the 20 ms chassis
+    loops.  That makes it the canonical *multi-rate* companion
+    application.  State: current error; input: drive voltage.
+    """
+    a = np.array([[-resistance / inductance]])
+    b = np.array([[1.0 / inductance]])
+    model = ContinuousStateSpace(a=a, b=b, name="motor-current-loop")
+    return PlantDefinition(
+        model=model,
+        q=np.array([[50.0]]),
+        r=np.array([[0.01]]),
+        disturbance=np.array([1.0]),
+        threshold=0.02,
+        period=0.002,
+    )
+
+
 def wiper_positioning(
     inertia: float = 0.015,
     damping: float = 0.12,
@@ -310,6 +336,7 @@ PLANT_REGISTRY: Dict[str, Callable[[], PlantDefinition]] = {
     "throttle-by-wire": throttle_by_wire,
     "lateral-dynamics": lateral_dynamics,
     "engine-idle-speed": engine_idle_speed,
+    "motor-current-loop": motor_current_loop,
     "wiper-positioning": wiper_positioning,
 }
 """All plant factories by name."""
@@ -347,6 +374,7 @@ __all__ = [
     "engine_idle_speed",
     "lateral_dynamics",
     "make_plant",
+    "motor_current_loop",
     "servo_rig",
     "throttle_by_wire",
     "wiper_positioning",

@@ -16,10 +16,13 @@ from repro.experiments.allocation import (
 from repro.experiments.ablations import (
     run_fixed_point_ablation,
     run_jitter_ablation,
+    run_kernel_ablation,
     run_segment_ablation,
     run_threshold_sweep,
+    traces_bitwise_equal,
 )
 from repro.experiments.casestudy import (
+    MULTIRATE_CASE_STUDY,
     SIMULATION_CASE_STUDY,
     CaseStudyApplication,
     design_case_study_application,
@@ -51,6 +54,7 @@ __all__ = [
     "ValidationResult",
     "run_bound_validation",
     "run_pure_et_baseline",
+    "MULTIRATE_CASE_STUDY",
     "SIMULATION_CASE_STUDY",
     "Table1Result",
     "design_case_study_application",
@@ -62,9 +66,11 @@ __all__ = [
     "run_fig5",
     "run_fixed_point_ablation",
     "run_jitter_ablation",
+    "run_kernel_ablation",
     "run_paper_allocation",
     "run_segment_ablation",
     "run_simulation_allocation",
     "run_table1",
     "run_threshold_sweep",
+    "traces_bitwise_equal",
 ]

@@ -376,15 +376,95 @@ def run_qoc_ablation(
     return QocAblationResult(rows=rows)
 
 
+# ---------------------------------------------------------------------------
+# E12 — event-driven vs legacy fixed-step co-simulation kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelAblationResult:
+    """Cross-check of the two co-simulation kernels on one scenario.
+
+    On shared-period fleets the kernels are bitwise-equivalent by
+    construction; this ablation re-verifies that on the full Figure 5
+    roster and reports each kernel's co-simulation wall-clock.
+    """
+
+    scenario: str
+    event_seconds: float
+    legacy_seconds: float
+    traces_identical: bool
+    samples: int
+    apps: int
+
+    def report(self) -> str:
+        verdict = "bitwise identical" if self.traces_identical else "DIVERGED"
+        rows = [
+            ["event", f"{self.event_seconds:.3f}"],
+            ["legacy", f"{self.legacy_seconds:.3f}"],
+        ]
+        return (
+            f"Co-simulation kernel ablation ({self.scenario}; "
+            f"{self.apps} apps, {self.samples} samples)\n"
+            + format_table(["kernel", "cosim stage [s]"], rows)
+            + f"\ntraces: {verdict}"
+        )
+
+
+def traces_bitwise_equal(a, b) -> bool:
+    """Exact (no-tolerance) equality of two simulation traces."""
+    if set(a.apps) != set(b.apps):
+        return False
+    for name in a.apps:
+        ta, tb = a[name], b[name]
+        for fld in ("times", "norms", "delays", "states", "response_times"):
+            va, vb = getattr(ta, fld), getattr(tb, fld)
+            if len(va) != len(vb) or any(x != y for x, y in zip(va, vb)):
+                return False
+    return True
+
+
+def run_kernel_ablation(
+    wait_step: int = 2, horizon: Optional[float] = None
+) -> KernelAblationResult:
+    """E12: the event kernel must reproduce the legacy kernel exactly."""
+    from repro.pipeline import DesignStudy, get_scenario
+
+    base = get_scenario("fig5-cosim-analytic").derive(
+        wait_step=wait_step, horizon=horizon
+    )
+    runs = {}
+    for kernel in ("event", "legacy"):
+        study = (
+            DesignStudy(base.derive(name=f"{base.name}@{kernel}", kernel=kernel))
+            .run()
+            .raise_for_failure()
+        )
+        runs[kernel] = study
+    event_trace = runs["event"].attachments.trace
+    legacy_trace = runs["legacy"].attachments.trace
+    return KernelAblationResult(
+        scenario=base.name,
+        event_seconds=runs["event"].stage("cosim").elapsed,
+        legacy_seconds=runs["legacy"].stage("cosim").elapsed,
+        traces_identical=traces_bitwise_equal(event_trace, legacy_trace),
+        samples=sum(len(t.times) for t in event_trace.apps.values()),
+        apps=len(event_trace.apps),
+    )
+
+
 __all__ = [
     "FixedPointAblationResult",
     "JitterAblationResult",
+    "KernelAblationResult",
     "QocAblationResult",
     "SegmentAblationResult",
     "ThresholdSweepResult",
     "run_fixed_point_ablation",
     "run_jitter_ablation",
+    "run_kernel_ablation",
     "run_qoc_ablation",
     "run_segment_ablation",
     "run_threshold_sweep",
+    "traces_bitwise_equal",
 ]

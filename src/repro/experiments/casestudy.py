@@ -38,6 +38,18 @@ SIMULATION_CASE_STUDY: Tuple[Tuple[str, float, float, float], ...] = (
     ("servo-rig", 1000.0, 6.0, 6.0),
 )
 
+#: Multi-rate roster (same tuple layout): a 2 ms motor current loop
+#: beside three 20 ms chassis loops.  Exercises the event-driven
+#: co-simulation kernel — the legacy fixed-step loop rejects it — while
+#: keeping the canonical six-application roster (and every artefact
+#: derived from it) untouched.
+MULTIRATE_CASE_STUDY: Tuple[Tuple[str, float, float, float], ...] = (
+    ("motor-current-loop", 200.0, 2.0, 0.5),
+    ("lateral-dynamics", 2000.0, 15.0, 2.0),
+    ("throttle-by-wire", 800.0, 20.0, 8.5),
+    ("servo-rig", 1000.0, 6.0, 6.0),
+)
+
 #: TT-mode sensor-to-actuator delay used throughout (the paper's 0.7 ms);
 #: defined alongside the memoized measurement it parameterises.
 from repro.pipeline.cache import TT_DELAY  # noqa: E402  (re-export)
@@ -118,6 +130,7 @@ def simulation_applications(wait_step: int = 2) -> List[CaseStudyApplication]:
 
 
 __all__ = [
+    "MULTIRATE_CASE_STUDY",
     "SIMULATION_CASE_STUDY",
     "TT_DELAY",
     "CaseStudyApplication",

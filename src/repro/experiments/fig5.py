@@ -72,6 +72,7 @@ def run_fig5(
     horizon: Optional[float] = None,
     use_flexray: bool = True,
     wait_step: int = 2,
+    kernel: str = "event",
 ) -> Fig5Result:
     """Run the Figure 5 co-simulation.
 
@@ -87,6 +88,9 @@ def run_fig5(
     use_flexray:
         ``True`` runs over the cycle-accurate bus; ``False`` uses the
         analytic worst-case network (faster, deterministic).
+    kernel:
+        Co-simulation kernel (``"event"`` or ``"legacy"``; traces are
+        bitwise identical on this shared-period roster).
     """
     if applications is None:
         # Default roster: run the whole chain as the fig5 pipeline
@@ -98,6 +102,7 @@ def run_fig5(
         ).derive(
             wait_step=wait_step,
             horizon=horizon,
+            kernel=kernel,
             bus=BusSpec.from_config(bus_config) if bus_config is not None else None,
         )
         study = DesignStudy(scenario).run().raise_for_failure()
@@ -132,7 +137,7 @@ def run_fig5(
         )
     else:
         network = AnalyticNetwork()
-    simulator = CoSimulator(cosim_apps, network)
+    simulator = CoSimulator(cosim_apps, network, legacy=(kernel == "legacy"))
     trace = simulator.run(horizon)
     return Fig5Result(trace=trace, slot_names=allocation.slot_names)
 

@@ -44,7 +44,9 @@ from repro.pipeline.result import StudyAttachments, StudyResult
 from repro.pipeline.runner import DesignStudy, run_many, run_study
 from repro.pipeline.scenario import (
     ALLOCATORS,
+    DISTURBANCES,
     DWELL_SHAPES,
+    KERNELS,
     METHODS,
     NETWORKS,
     SOURCES,
@@ -53,14 +55,23 @@ from repro.pipeline.scenario import (
 )
 from repro.pipeline.serialize import to_jsonable
 from repro.pipeline.stages import STAGE_ORDER, StageRecord, StudyContext
+from repro.pipeline.sweep import (
+    CellStats,
+    SweepResult,
+    expand_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "ALLOCATORS",
     "BusSpec",
+    "CellStats",
+    "DISTURBANCES",
     "DWELL_SHAPES",
     "DesignStudy",
     "DwellCurveCache",
     "GLOBAL_DWELL_CACHE",
+    "KERNELS",
     "METHODS",
     "MeasuredApplication",
     "NETWORKS",
@@ -72,12 +83,16 @@ __all__ = [
     "StudyAttachments",
     "StudyContext",
     "StudyResult",
+    "SweepResult",
+    "expand_sweep",
     "get_scenario",
     "register_scenario",
     "run_many",
     "run_study",
+    "run_sweep",
     "scenario_grid",
     "scenario_names",
     "scenarios",
+    "sweep",
     "to_jsonable",
 ]

@@ -81,6 +81,40 @@ class DwellCurveCache:
             self._hits = 0
             self._misses = 0
 
+    def keys_snapshot(self) -> set:
+        """The cache keys currently present (completed or in flight)."""
+        with self._lock:
+            return set(self._entries)
+
+    def export_entries(self, exclude=frozenset()) -> Dict[Tuple, object]:
+        """Completed measurements, keyed for :meth:`merge_entries`.
+
+        Process-pool workers call this after each study and ship only
+        the entries *they* measured (``exclude`` holds what the worker
+        already had or already shipped), so the parent can fold worker
+        caches back into the shared one.
+        """
+        with self._lock:
+            items = list(self._entries.items())
+        return {
+            key: future.result()
+            for key, future in items
+            if key not in exclude and future.done() and future.exception() is None
+        }
+
+    def merge_entries(self, entries: Dict[Tuple, object]) -> int:
+        """Adopt measurements computed elsewhere; returns how many were new."""
+        added = 0
+        with self._lock:
+            for key, value in entries.items():
+                if key in self._entries:
+                    continue
+                future: Future = Future()
+                future.set_result(value)
+                self._entries[key] = future
+                added += 1
+        return added
+
     def _get_or_measure(self, key: Tuple, measure):
         """Return ``(value, hit)``; ``hit`` attributes this call exactly
         once so per-caller stats stay correct under concurrency."""

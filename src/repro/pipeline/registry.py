@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.pipeline.scenario import Scenario
+from repro.pipeline.scenario import BusSpec, Scenario
 
 _REGISTRY: Dict[str, Scenario] = {}
 
@@ -215,6 +215,37 @@ register_scenario(
             "deterministic)"
         ),
         source="simulation",
+        cosim=True,
+        network="analytic",
+    )
+)
+register_scenario(
+    Scenario(
+        name="multirate-cosim",
+        description=(
+            "Multi-rate fleet — a 2 ms motor current loop beside 20 ms "
+            "chassis loops — co-simulated over a 1 ms-cycle FlexRay bus "
+            "(event kernel only)"
+        ),
+        source="multirate",
+        cosim=True,
+        network="flexray",
+        bus=BusSpec(
+            cycle_length=0.001,
+            static_slots=3,
+            static_slot_length=0.0002,
+            minislot_length=0.00001,
+        ),
+    )
+)
+register_scenario(
+    Scenario(
+        name="multirate-cosim-analytic",
+        description=(
+            "Multi-rate fleet over the analytic worst-case network "
+            "(fast, deterministic)"
+        ),
+        source="multirate",
         cosim=True,
         network="analytic",
     )

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Union
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.schedulability import UnschedulableError
 from repro.pipeline.cache import DwellCurveCache, GLOBAL_DWELL_CACHE
@@ -139,29 +139,76 @@ def run_study(
     return DesignStudy(scenario, cache=cache).run()
 
 
+#: Dwell-cache keys a pool worker already held (inherited via fork) or
+#: already shipped back; lazily initialised on the worker's first task.
+_WORKER_SHIPPED: Optional[set] = None
+
+
+def _process_worker(
+    scenario: Scenario,
+) -> Tuple[StudyResult, Dict[Tuple, object]]:
+    """Run one study in a pool worker and report new cache entries.
+
+    Each worker keeps its own process-global dwell cache (warm from the
+    start under a fork start method); whatever it measures *beyond* that
+    baseline is returned alongside the result so the parent can merge it
+    — later thread-mode or serial runs in the parent then hit instead of
+    re-measuring.
+    """
+    global _WORKER_SHIPPED
+    if _WORKER_SHIPPED is None:
+        _WORKER_SHIPPED = GLOBAL_DWELL_CACHE.keys_snapshot()
+    result = DesignStudy(scenario, cache=GLOBAL_DWELL_CACHE).run()
+    exports = GLOBAL_DWELL_CACHE.export_entries(exclude=_WORKER_SHIPPED)
+    _WORKER_SHIPPED.update(exports)
+    return result, exports
+
+
 def run_many(
     scenarios: Iterable[Union[Scenario, str]],
     max_workers: Optional[int] = None,
     cache: Optional[DwellCurveCache] = None,
+    executor: str = "thread",
 ) -> List[StudyResult]:
     """Execute many scenarios, sharing one dwell-measurement cache.
 
-    Results come back in input order.  Thread workers suit this
-    workload: the dwell sweeps spend their time in vectorised numpy
-    calls, and a shared in-process cache de-duplicates the measurements
-    that dominate a sweep's cost.
+    Results come back in input order.
+
+    Thread workers (the default) share one in-process cache, so a grid
+    that varies deadlines, shapes, and allocators measures each dwell
+    curve exactly once — but the co-simulation stage is pure-Python and
+    GIL-bound, so co-sim-heavy grids gain little wall-clock from
+    threads.  ``executor="process"`` fans those out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` instead: scenarios
+    are pickled to the workers, each worker keeps a per-process dwell
+    cache (inherited warm where the platform forks), and whatever a
+    worker measures is merged back into the parent's cache when its
+    results return.
 
     Parameters
     ----------
     scenarios:
-        Scenario objects or registry names.
+        Scenario objects or registry names (names are resolved in the
+        calling process, so registry state need not exist in workers).
     max_workers:
-        Thread count; defaults to ``min(len(scenarios), cpu_count)``.
+        Worker count; defaults to ``min(len(scenarios), cpu_count)``.
         ``1`` forces serial execution.
     cache:
         Shared dwell cache; defaults to the process-wide one.
+    executor:
+        ``"thread"`` or ``"process"``.
     """
-    scenario_list = list(scenarios)
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected 'thread' or 'process'"
+        )
+    scenario_list: List[Scenario] = []
+    for scenario in scenarios:
+        if isinstance(scenario, str):
+            from repro.pipeline.registry import get_scenario
+
+            scenario = get_scenario(scenario)
+        scenario_list.append(scenario)
     cache = cache if cache is not None else GLOBAL_DWELL_CACHE
     if not scenario_list:
         return []
@@ -169,9 +216,19 @@ def run_many(
         max_workers = min(len(scenario_list), os.cpu_count() or 4)
     if max_workers <= 1 or len(scenario_list) == 1:
         return [DesignStudy(s, cache=cache).run() for s in scenario_list]
-    with ThreadPoolExecutor(max_workers=max_workers) as executor:
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            outcomes = list(pool.map(_process_worker, scenario_list))
+        results = []
+        for result, exports in outcomes:
+            cache.merge_entries(exports)
+            results.append(result)
+        return results
+    with ThreadPoolExecutor(max_workers=max_workers) as executor_pool:
         return list(
-            executor.map(lambda s: DesignStudy(s, cache=cache).run(), scenario_list)
+            executor_pool.map(
+                lambda s: DesignStudy(s, cache=cache).run(), scenario_list
+            )
         )
 
 

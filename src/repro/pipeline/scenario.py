@@ -20,7 +20,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.flexray.params import FlexRayConfig
 
 #: Where the application set comes from.
-SOURCES = ("paper", "simulation", "servo")
+SOURCES = ("paper", "simulation", "multirate", "servo")
 #: Dwell-model shapes supported by the characterisation pipeline.
 DWELL_SHAPES = ("non-monotonic", "conservative-monotonic")
 #: Built-in wait-time analysis methods.  Validation goes through the
@@ -39,6 +39,10 @@ ALLOCATORS = (
 )
 #: Co-simulation network models.
 NETWORKS = ("analytic", "flexray")
+#: Co-simulation kernels (event-driven default, legacy fixed-step loop).
+KERNELS = ("event", "legacy")
+#: Disturbance arrival processes for the co-simulation stage.
+DISTURBANCES = ("one-shot", "sporadic")
 
 
 @dataclass(frozen=True)
@@ -116,6 +120,22 @@ class Scenario:
     horizon:
         Co-simulation length in seconds; ``None`` derives
         1.2x the largest deadline.
+    kernel:
+        Co-simulation kernel: ``"event"`` (default; multi-rate capable)
+        or ``"legacy"`` (the original fixed-step loop, shared-period
+        fleets only).  Shared-period traces are bitwise identical
+        across kernels.
+    disturbance:
+        Arrival process driving the co-simulation: ``"one-shot"`` (every
+        plant disturbed once at ``t = 0``, the paper's Figure 5 setup)
+        or ``"sporadic"`` (seeded random arrivals at each application's
+        minimum inter-arrival spacing — the Monte-Carlo workload).
+    seed:
+        Base random seed for sporadic disturbance arrivals and FlexRay
+        frame-loss injection; replication sweeps vary it per cell.
+    loss_rate:
+        FlexRay frame-corruption probability in ``[0, 1)`` (ignored by
+        the analytic network).
     """
 
     name: str
@@ -131,6 +151,10 @@ class Scenario:
     cosim: bool = False
     network: str = "analytic"
     horizon: Optional[float] = None
+    kernel: str = "event"
+    disturbance: str = "one-shot"
+    seed: int = 0
+    loss_rate: float = 0.0
 
     def __post_init__(self):
         if not self.name:
@@ -150,6 +174,14 @@ class Scenario:
             raise ValueError(f"wait_step must be an integer >= 1, got {self.wait_step}")
         if self.horizon is not None and self.horizon <= 0:
             raise ValueError(f"horizon must be positive, got {self.horizon}")
+        _check_choice("kernel", self.kernel, KERNELS)
+        _check_choice("disturbance", self.disturbance, DISTURBANCES)
+        if int(self.seed) != self.seed:
+            raise ValueError(f"seed must be an integer, got {self.seed}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must lie in [0, 1), got {self.loss_rate}"
+            )
 
     def derive(self, name: Optional[str] = None, **changes: Any) -> "Scenario":
         """A modified copy (a grid point, a what-if variant, ...).
@@ -223,7 +255,9 @@ def _check_registered_method(value: str) -> None:
 __all__ = [
     "ALLOCATORS",
     "BusSpec",
+    "DISTURBANCES",
     "DWELL_SHAPES",
+    "KERNELS",
     "METHODS",
     "NETWORKS",
     "SOURCES",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.control.disturbance import OneShotDisturbance
+from repro.control.disturbance import OneShotDisturbance, SporadicDisturbance
 from repro.core.allocation import AllocationResult
 from repro.core.characterization import characterize_curve
 from repro.core.pwl import from_timing_parameters
@@ -144,11 +144,19 @@ def stage_characterize(ctx: StudyContext) -> Dict[str, Any]:
 
         ctx.params = scale_deadlines(rows, scenario.deadline_scale)
         ctx.case_apps = None
-    elif scenario.source == "simulation":
-        from repro.experiments.casestudy import SIMULATION_CASE_STUDY
+    elif scenario.source in ("simulation", "multirate"):
+        from repro.experiments.casestudy import (
+            MULTIRATE_CASE_STUDY,
+            SIMULATION_CASE_STUDY,
+        )
 
+        full_roster = (
+            SIMULATION_CASE_STUDY
+            if scenario.source == "simulation"
+            else MULTIRATE_CASE_STUDY
+        )
         roster = _select_named(
-            list(SIMULATION_CASE_STUDY), scenario.apps, lambda e: e[0], "plant"
+            list(full_roster), scenario.apps, lambda e: e[0], "plant"
         )
         hits = 0
         ctx.case_apps = []
@@ -312,13 +320,21 @@ def stage_allocate(ctx: StudyContext) -> Dict[str, Any]:
 
 
 def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
-    """Verify the allocation by co-simulating all disturbed plants."""
+    """Verify the allocation by co-simulating all disturbed plants.
+
+    The scenario picks the kernel (event-driven by default; the legacy
+    fixed-step loop rejects multi-rate rosters), the disturbance
+    process, and — through ``seed`` — the randomness of sporadic
+    arrivals and FlexRay frame loss, so co-simulation runs are exactly
+    reproducible from a scenario document.
+    """
     scenario = ctx.scenario
     if not scenario.cosim:
         raise StageSkipped("co-simulation disabled by scenario")
-    if scenario.source != "simulation":
+    if scenario.source not in ("simulation", "multirate"):
         raise StageSkipped(
-            "co-simulation requires plant models (source='simulation')"
+            "co-simulation requires plant models "
+            "(source='simulation' or 'multirate')"
         )
     assert ctx.case_apps is not None and ctx.allocation is not None
     horizon = scenario.horizon
@@ -326,12 +342,20 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
         horizon = 1.2 * max(app.params.deadline for app in ctx.case_apps)
     cosim_apps = []
     for index, case_app in enumerate(ctx.case_apps):
+        if scenario.disturbance == "sporadic":
+            disturbances: Any = SporadicDisturbance(
+                min_inter_arrival=case_app.params.min_inter_arrival,
+                mean_extra_gap=0.5 * case_app.params.min_inter_arrival,
+                seed=scenario.seed * 1009 + index,
+            )
+        else:
+            disturbances = OneShotDisturbance(time=0.0)
         cosim_apps.append(
             CoSimApplication(
                 app=case_app.app,
                 dynamics=case_app.plant.model,
                 disturbance_state=case_app.plant.disturbance,
-                disturbances=OneShotDisturbance(time=0.0),
+                disturbances=disturbances,
                 deadline=case_app.params.deadline,
                 slot=ctx.allocation.slot_of(case_app.name),
                 frame=FrameSpec(frame_id=index + 1, sender=case_app.name),
@@ -340,10 +364,17 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
     network: NetworkModel
     if scenario.network == "flexray":
         config = scenario.bus.to_config() if scenario.bus else paper_bus_config()
-        network = FlexRayNetwork(bus=FlexRayBus(config=config))
+        network = FlexRayNetwork(
+            bus=FlexRayBus(config=config),
+            loss_rate=scenario.loss_rate,
+            loss_seed=scenario.seed,
+        )
     else:
         network = AnalyticNetwork()
-    ctx.trace = CoSimulator(cosim_apps, network).run(horizon)
+    simulator = CoSimulator(
+        cosim_apps, network, legacy=(scenario.kernel == "legacy")
+    )
+    ctx.trace = simulator.run(horizon)
     rows = []
     for row in ctx.trace.summary_rows():
         rows.append(
@@ -355,13 +386,25 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
                 "tt_episodes": len(row["tt_intervals"]),
             }
         )
-    return {
+    artifact = {
         "network": scenario.network,
+        "kernel": scenario.kernel,
+        "disturbance": scenario.disturbance,
+        "seed": scenario.seed,
         "horizon": horizon,
         "slots": to_jsonable(ctx.allocation.slot_names),
         "applications": rows,
         "all_deadlines_met": bool(ctx.trace.all_deadlines_met()),
+        "qoc": ctx.trace.qoc(),
+        "jitter_violations": simulator.jitter_violations,
     }
+    if scenario.network == "flexray":
+        artifact["loss"] = {
+            "rate": scenario.loss_rate,
+            "lost": network.lost,
+            "clamped": network.clamped,
+        }
+    return artifact
 
 
 STAGES = {

@@ -1,0 +1,384 @@
+"""Seeded Monte-Carlo sweeps over scenario grids.
+
+A *sweep* is a two-level expansion of one base scenario:
+
+* **axes** — named scenario fields crossed into a cartesian grid
+  (``{"loss_rate": [0.0, 0.05], "deadline_scale": [1.0, 0.75]}`` gives
+  four *cells*);
+* **replications** — every cell is run ``n`` times with consecutive
+  seeds (``seed0 + r``), which re-draws sporadic disturbance arrivals
+  and FlexRay frame loss while holding the design fixed.
+
+:func:`run_sweep` executes the expansion through
+:func:`~repro.pipeline.runner.run_many`-style workers (thread or
+process pools; co-sim-heavy grids want ``executor="process"`` — the
+simulation loop is pure Python and GIL-bound), optionally streaming one
+JSON line per finished study to disk as it lands, and aggregates each
+cell's quality-of-control statistics (mean / standard deviation / 95 %
+confidence half-width) so a 32-run grid collapses into a table you can
+read.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.cache import DwellCurveCache, GLOBAL_DWELL_CACHE
+from repro.pipeline.result import StudyResult
+from repro.pipeline.runner import DesignStudy, _process_worker
+from repro.pipeline.scenario import Scenario
+from repro.pipeline.serialize import to_jsonable
+
+#: Per-study metrics aggregated across a cell's replications.
+METRICS = ("qoc", "worst_response", "jitter_violations", "duration")
+
+
+def expand_sweep(
+    base: Union[Scenario, str],
+    axes: Optional[Dict[str, Sequence[Any]]] = None,
+    replications: int = 1,
+    seed0: int = 0,
+) -> List[Tuple[str, Scenario]]:
+    """Expand ``base`` into ``(cell_name, scenario)`` runs.
+
+    Cells are the cartesian product of the axis values (axis insertion
+    order is preserved, so run order is deterministic); each cell is
+    replicated with seeds ``seed0 .. seed0 + replications - 1``.
+    """
+    if isinstance(base, str):
+        from repro.pipeline.registry import get_scenario
+
+        base = get_scenario(base)
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    axes = dict(axes or {})
+    if "seed" in axes:
+        raise ValueError(
+            "the replication machinery owns the 'seed' field (seeds run "
+            "seed0 .. seed0+replications-1); sweep a different axis or "
+            "adjust replications/seed0"
+        )
+    for axis, values in axes.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ValueError(
+                f"axis {axis!r} needs a non-empty list of values, got {values!r}"
+            )
+    runs: List[Tuple[str, Scenario]] = []
+    names = list(axes)
+    for combo in itertools.product(*(axes[name] for name in names)):
+        overrides = dict(zip(names, combo))
+        try:
+            cell = base.derive(**overrides) if overrides else base
+        except TypeError as exc:
+            raise ValueError(
+                f"unknown scenario field in sweep axes: {exc}"
+            ) from None
+        for r in range(replications):
+            scenario = cell.derive(
+                name=f"{cell.name}#seed{seed0 + r}", seed=seed0 + r
+            )
+            runs.append((cell.name, scenario))
+    return runs
+
+
+def _study_row(cell: str, result: StudyResult) -> Dict[str, Any]:
+    """One JSONL record / aggregation input per finished study."""
+    cosim = result.stage("cosim")
+    row: Dict[str, Any] = {
+        "cell": cell,
+        "scenario": result.scenario.name,
+        "seed": result.scenario.seed,
+        "ok": result.ok,
+        "duration": result.duration,
+        "slot_count": result.slot_count,
+    }
+    if not result.ok:
+        failed = next(r for r in result.stages if r.status == "failed")
+        row["failed_stage"] = failed.name
+        row["detail"] = failed.detail
+    if cosim.ok:
+        responses = [
+            app["worst_response"]
+            for app in cosim.artifact["applications"]
+            if app["worst_response"] is not None
+        ]
+        row.update(
+            {
+                "qoc": cosim.artifact["qoc"],
+                "worst_response": max(responses) if responses else None,
+                "all_deadlines_met": cosim.artifact["all_deadlines_met"],
+                "jitter_violations": cosim.artifact["jitter_violations"],
+            }
+        )
+        if "loss" in cosim.artifact:
+            row["lost_frames"] = cosim.artifact["loss"]["lost"]
+    return row
+
+
+def _aggregate(values: List[float]) -> Dict[str, float]:
+    """Mean / sample std / 95 % normal CI half-width / extremes."""
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return {
+        "n": n,
+        "mean": mean,
+        "std": std,
+        "ci95": 1.96 * std / math.sqrt(n),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Aggregated outcome of one sweep cell across its replications."""
+
+    name: str
+    runs: int
+    failures: int
+    deadlines_met_rate: Optional[float]
+    metrics: Dict[str, Dict[str, float]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "runs": self.runs,
+            "failures": self.failures,
+            "deadlines_met_rate": self.deadlines_met_rate,
+            "metrics": self.metrics,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced: raw rows plus per-cell statistics."""
+
+    base: Scenario
+    executor: str
+    elapsed: float
+    rows: List[Dict[str, Any]]
+    cells: List[CellStats]
+    results: List[StudyResult] = field(default_factory=list, repr=False)
+
+    @property
+    def run_count(self) -> int:
+        return len(self.rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base_scenario": self.base.to_dict(),
+            "executor": self.executor,
+            "elapsed": self.elapsed,
+            "runs": to_jsonable(self.rows),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def report(self) -> str:
+        """ASCII summary: one row per cell, QoC mean +/- CI."""
+        from repro.experiments.reporting import format_table
+
+        rows = []
+        for cell in self.cells:
+            qoc = cell.metrics.get("qoc")
+            resp = cell.metrics.get("worst_response")
+            rows.append(
+                [
+                    cell.name,
+                    cell.runs,
+                    cell.failures,
+                    "-"
+                    if qoc is None
+                    else f"{qoc['mean']:.4g} ± {qoc['ci95']:.2g}",
+                    "-"
+                    if resp is None
+                    else f"{resp['mean']:.4g} ± {resp['ci95']:.2g}",
+                    "-"
+                    if cell.deadlines_met_rate is None
+                    else f"{cell.deadlines_met_rate:.0%}",
+                ]
+            )
+        table = format_table(
+            ["cell", "runs", "failed", "QoC (mean ± CI95)",
+             "worst response [s]", "deadlines met"],
+            rows,
+        )
+        head = (
+            f"Sweep of {self.base.name!r}: {self.run_count} runs in "
+            f"{self.elapsed:.1f}s ({self.executor} executor)"
+        )
+        return f"{head}\n{table}"
+
+
+def run_sweep(
+    base: Union[Scenario, str],
+    axes: Optional[Dict[str, Sequence[Any]]] = None,
+    replications: int = 1,
+    seed0: int = 0,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    cache: Optional[DwellCurveCache] = None,
+    jsonl_path: Optional[str] = None,
+    keep_results: bool = True,
+) -> SweepResult:
+    """Run a seeded replication grid and aggregate per-cell statistics.
+
+    Parameters
+    ----------
+    base:
+        Base scenario (object or registry name).
+    axes:
+        Scenario fields to cross into the grid, e.g.
+        ``{"loss_rate": [0.0, 0.05]}``.
+    replications:
+        Seeded repeats per cell (seeds ``seed0 .. seed0+n-1``).
+    executor:
+        ``"thread"`` shares one in-process dwell cache (best when
+        measurements dominate); ``"process"`` sidesteps the GIL for
+        co-simulation-heavy grids and merges worker caches on return.
+    max_workers:
+        Pool size; defaults to ``min(runs, cpu_count)``.
+    jsonl_path:
+        If given, stream one JSON line per finished study (written as
+        results land, so a long sweep is inspectable while running).
+    keep_results:
+        Keep the full :class:`StudyResult` objects on the returned
+        :class:`SweepResult` (set False for very large sweeps).
+    """
+    import os
+
+    runs = expand_sweep(base, axes, replications=replications, seed0=seed0)
+    if isinstance(base, str):
+        from repro.pipeline.registry import get_scenario
+
+        base_scenario = get_scenario(base)
+    else:
+        base_scenario = base
+    cache = cache if cache is not None else GLOBAL_DWELL_CACHE
+    if max_workers is None:
+        max_workers = min(len(runs), os.cpu_count() or 4)
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected 'thread' or 'process'"
+        )
+    started = time.perf_counter()
+    results: List[Optional[StudyResult]] = [None] * len(runs)
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(runs)
+    writer: Optional[IO[str]] = open(jsonl_path, "w") if jsonl_path else None
+    try:
+        if max_workers <= 1 or len(runs) == 1:
+            for i, (cell, scenario) in enumerate(runs):
+                result = DesignStudy(scenario, cache=cache).run()
+                _land(i, cell, result, results, rows, writer)
+        elif executor == "process":
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                pending = {
+                    pool.submit(_process_worker, scenario): i
+                    for i, (_, scenario) in enumerate(runs)
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = pending.pop(future)
+                        result, exports = future.result()
+                        cache.merge_entries(exports)
+                        _land(i, runs[i][0], result, results, rows, writer)
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                pending = {
+                    pool.submit(DesignStudy(scenario, cache=cache).run): i
+                    for i, (_, scenario) in enumerate(runs)
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = pending.pop(future)
+                        _land(i, runs[i][0], future.result(), results, rows, writer)
+    finally:
+        if writer is not None:
+            writer.close()
+    elapsed = time.perf_counter() - started
+
+    by_cell: Dict[str, List[Dict[str, Any]]] = {}
+    for cell, _ in runs:
+        by_cell.setdefault(cell, [])
+    for row in rows:
+        assert row is not None
+        by_cell[row["cell"]].append(row)
+    cells = []
+    for name, cell_rows in by_cell.items():
+        metrics: Dict[str, Dict[str, float]] = {}
+        for metric in METRICS:
+            values = [
+                row[metric]
+                for row in cell_rows
+                if row.get(metric) is not None
+            ]
+            if values:
+                metrics[metric] = _aggregate([float(v) for v in values])
+        met = [
+            row["all_deadlines_met"]
+            for row in cell_rows
+            if "all_deadlines_met" in row
+        ]
+        cells.append(
+            CellStats(
+                name=name,
+                runs=len(cell_rows),
+                failures=sum(1 for row in cell_rows if not row["ok"]),
+                deadlines_met_rate=(
+                    sum(met) / len(met) if met else None
+                ),
+                metrics=metrics,
+            )
+        )
+    final_results = [r for r in results if r is not None] if keep_results else []
+    return SweepResult(
+        base=base_scenario,
+        executor=executor if max_workers > 1 and len(runs) > 1 else "serial",
+        elapsed=elapsed,
+        rows=[row for row in rows if row is not None],
+        cells=cells,
+        results=final_results,
+    )
+
+
+def _land(
+    index: int,
+    cell: str,
+    result: StudyResult,
+    results: List[Optional[StudyResult]],
+    rows: List[Optional[Dict[str, Any]]],
+    writer: Optional[IO[str]],
+) -> None:
+    """Record one finished study; stream its JSONL row immediately."""
+    results[index] = result
+    row = _study_row(cell, result)
+    rows[index] = row
+    if writer is not None:
+        writer.write(json.dumps(to_jsonable(row)) + "\n")
+        writer.flush()
+
+
+__all__ = [
+    "CellStats",
+    "METRICS",
+    "SweepResult",
+    "expand_sweep",
+    "run_sweep",
+]

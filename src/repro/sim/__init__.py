@@ -10,11 +10,18 @@ from repro.sim.cosim import (
     AnalyticNetwork,
     CoSimApplication,
     CoSimulator,
+    Delivery,
     FlexRayNetwork,
     Submission,
 )
 from repro.sim.events import EventQueue
 from repro.sim.runtime import CommState, DisturbanceRecord, SwitchingRuntime
+from repro.sim.stepper import (
+    GLOBAL_ZOH_CACHE,
+    DelayedStepper,
+    PlantStepperBank,
+    ZOHCache,
+)
 from repro.sim.tasks import ApplicationTasks, Ecu, PeriodicTask, simple_application_tasks
 from repro.sim.trace import AppTrace, SimulationTrace
 from repro.sim.traffic import BackgroundTraffic, TrafficStream, heavy_background_traffic
@@ -29,16 +36,21 @@ __all__ = [
     "CoSimApplication",
     "CoSimulator",
     "CommState",
+    "DelayedStepper",
+    "Delivery",
     "DisturbanceRecord",
     "Ecu",
     "EventQueue",
     "FlexRayNetwork",
+    "GLOBAL_ZOH_CACHE",
     "PeriodicTask",
+    "PlantStepperBank",
     "SimulationTrace",
     "SlotClient",
     "SlotState",
     "Submission",
     "SwitchingRuntime",
     "TTSlotArbiter",
+    "ZOHCache",
     "simple_application_tasks",
 ]

@@ -8,6 +8,20 @@ through the non-preemptive deadline-priority arbiter, and everything is
 recorded in :class:`~repro.sim.trace.SimulationTrace` (the data behind
 the paper's Figure 5).
 
+Two simulation kernels are provided:
+
+* the **event-driven kernel** (default) schedules sampling ticks,
+  disturbance arrivals, slot grant hand-overs and message transmission
+  on a :class:`~repro.sim.events.EventQueue`.  Applications may use
+  *different* sampling periods — a 2 ms current loop can share the bus
+  with 20 ms chassis loops — and each application's state machine,
+  plant step and trace samples advance at its own rate.
+* the **legacy fixed-step kernel** (``legacy=True``) is the original
+  polling loop; it requires one shared sampling period.  On any
+  shared-period scenario both kernels produce bitwise-identical traces
+  (they execute the same operations in the same order), which the test
+  suite asserts.
+
 Two network models are provided:
 
 * :class:`AnalyticNetwork` — constant mode delays (TT: the configured
@@ -16,26 +30,38 @@ Two network models are provided:
 * :class:`FlexRayNetwork` — a cycle-accurate
   :class:`~repro.flexray.bus.FlexRayBus`; ET delays vary with dynamic-
   segment contention and TT delays follow the owned slot's window.
+
+Multi-rate fleets need the incremental *event interface*
+(:meth:`event_submit` / :meth:`event_advance`), which both bundled
+models implement; third-party :class:`NetworkModel` objects that only
+provide the batch :meth:`~NetworkModel.sample_delays` remain fully
+supported for shared-period fleets.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.control.controller import SwitchedApplication
-from repro.control.discretization import zoh_integrals
-from repro.control.disturbance import DisturbanceProcess
+from repro.control.disturbance import DisturbanceEvent, DisturbanceProcess
 from repro.control.lti import ContinuousStateSpace
 from repro.flexray.bus import FlexRayBus
 from repro.flexray.frame import FrameSpec, Message
 from repro.sim.arbiter import TTSlotArbiter
+from repro.sim.events import EventQueue
+from repro.sim.stepper import PlantStepperBank
 from repro.sim.traffic import BackgroundTraffic
 from repro.sim.runtime import CommState, SwitchingRuntime
 from repro.sim.trace import AppTrace, SimulationTrace
 from repro.utils.validation import check_positive
+
+#: Tolerance for grouping sampling instants of different applications
+#: onto one barrier (float noise in ``k * period`` products).
+_TIME_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -47,6 +73,16 @@ class Submission:
     uses_tt: bool
     slot: Optional[int]
     release_time: float
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One message's fate, reported through the event interface."""
+
+    name: str
+    release_time: float
+    delivery_time: float
+    lost: bool = False
 
 
 class NetworkModel(Protocol):
@@ -71,6 +107,9 @@ class AnalyticNetwork:
 
     tt_delay: float = 0.0007
     et_delay: float = 0.020
+    _pending: List[Submission] = field(
+        init=False, repr=False, default_factory=list
+    )
 
     def sample_delays(self, time, period, submissions):
         delays = {}
@@ -80,6 +119,24 @@ class AnalyticNetwork:
 
     def on_slot_change(self, slot, spec):
         pass  # ownership is irrelevant for constant delays
+
+    # -- event interface (multi-rate kernels) -----------------------------
+
+    def event_submit(self, time, window_end, submissions):
+        self._pending.extend(submissions)
+
+    def event_advance(self, time):
+        out = [
+            Delivery(
+                name=sub.name,
+                release_time=sub.release_time,
+                delivery_time=sub.release_time
+                + (self.tt_delay if sub.uses_tt else self.et_delay),
+            )
+            for sub in self._pending
+        ]
+        self._pending = []
+        return out
 
 
 @dataclass
@@ -148,6 +205,48 @@ class FlexRayNetwork:
             self.bus.release_slot(slot)
             self.bus.grant_slot(slot, spec)
 
+    # -- event interface (multi-rate kernels) -----------------------------
+
+    def event_submit(self, time, window_end, submissions):
+        """Queue background traffic for ``[time, window_end)`` plus the
+        control messages released at ``time``; the bus advances later."""
+        if self.traffic is not None:
+            for message in self.traffic.messages_between(time, window_end):
+                self.bus.submit_et(message)
+        for sub in submissions:
+            message = Message(spec=sub.spec, release_time=sub.release_time)
+            self._inflight[message.sequence] = sub.name
+            if sub.uses_tt:
+                self.bus.submit_tt(message)
+            else:
+                self.bus.submit_et(message)
+
+    def event_advance(self, time):
+        """Run whole bus cycles up to ``time``; report every delivery
+        (the kernel matches releases against its in-flight records)."""
+        out = []
+        for message in self.bus.advance_to(time):
+            name = self._inflight.pop(message.sequence, None)
+            if name is None:
+                continue
+            lost = False
+            if self._rng is not None and self._rng.random() < self.loss_rate:
+                self.lost += 1
+                lost = True
+            out.append(
+                Delivery(
+                    name=name,
+                    release_time=message.release_time,
+                    delivery_time=message.delivery_time,
+                    lost=lost,
+                )
+            )
+        return out
+
+    def event_clamped(self):
+        """A message missed its whole sampling interval (kernel hook)."""
+        self.clamped += 1
+
 
 @dataclass(frozen=True)
 class CoSimApplication:
@@ -184,45 +283,382 @@ class CoSimApplication:
         return self.app.name
 
 
-class _DelayedStepper:
-    """Caches exact discretisations ``(Phi, Gamma0(d), Gamma1(d))``."""
+@dataclass
+class _InFlight:
+    """A sampling interval awaiting its delay (lazy-resolution kernel)."""
 
-    def __init__(self, dynamics: ContinuousStateSpace, period: float):
-        self._dynamics = dynamics
-        self._period = period
-        self._phi, self._gamma_full = zoh_integrals(dynamics.a, dynamics.b, period)
-        self._cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    release: float
+    period: float
+    u: np.ndarray
+    uses_tt: bool
+    trace_index: int
+    delivery: Optional[float] = None
+    lost: bool = False
 
-    def step(self, x: np.ndarray, u: np.ndarray, u_prev: np.ndarray, delay: float) -> np.ndarray:
-        gamma0, gamma1 = self._gammas(delay)
-        return self._phi @ x + gamma0 @ u + gamma1 @ u_prev
 
-    def _gammas(self, delay: float) -> Tuple[np.ndarray, np.ndarray]:
-        key = int(round(delay * 1e7))  # 0.1 us grid
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        delay = min(max(delay, 0.0), self._period)
-        if delay <= 0.0:
-            pair = (self._gamma_full, np.zeros_like(self._gamma_full))
-        elif delay >= self._period:
-            pair = (np.zeros_like(self._gamma_full), self._gamma_full)
-        else:
-            exp_trail, gamma0 = zoh_integrals(
-                self._dynamics.a, self._dynamics.b, self._period - delay
+class _EventKernel:
+    """Event-driven co-simulation over an :class:`EventQueue`.
+
+    Per-application sampling ticks, disturbance arrivals, the arbiter's
+    grant pass and message transmission are scheduled events; ticks that
+    coincide (all of them, in the shared-period case) are coalesced into
+    one barrier so that slot arbitration still happens fleet-wide at
+    sampling instants, exactly as in the paper.
+
+    Delay resolution runs in one of two modes:
+
+    * **eager** (all applications share one period): the network is
+      advanced one full interval at transmission time, exactly like the
+      legacy kernel — same calls, same order, bitwise-equal traces.
+    * **lazy** (multi-rate fleets): messages are submitted when
+      released, the bus advances incrementally at each barrier, and each
+      application's interval is resolved at its *next* tick, clamped to
+      its own period.  Requires the network's event interface.
+    """
+
+    def __init__(self, sim: "CoSimulator", horizon: float):
+        self.sim = sim
+        self.apps = sim.applications
+        self.by_name = {a.name: a for a in self.apps}
+        self.network = sim.network
+        self.index = {a.name: i for i, a in enumerate(self.apps)}
+        self.periods = {a.name: sim.period_of(a) for a in self.apps}
+        self.eager = len({round(p, 12) for p in self.periods.values()}) == 1
+        if not self.eager:
+            missing = [
+                m
+                for m in ("event_submit", "event_advance")
+                if not hasattr(self.network, m)
+            ]
+            if missing:
+                raise ValueError(
+                    "multi-rate co-simulation needs a network model with the "
+                    f"event interface; {type(self.network).__name__} lacks "
+                    f"{missing} (shared-period fleets only need sample_delays)"
+                )
+        self.horizon = horizon
+        self.steps = {
+            name: int(np.ceil(horizon / p)) for name, p in self.periods.items()
+        }
+        self.queue = EventQueue()
+        self.bank = PlantStepperBank()
+        self.states: Dict[str, np.ndarray] = {}
+        self.held: Dict[str, np.ndarray] = {}
+        self.pending: Dict[str, Deque[DisturbanceEvent]] = {}
+        self.tick_index: Dict[str, int] = {}
+        self.inflight: Dict[str, _InFlight] = {}
+        self.traces = SimulationTrace(horizon=horizon)
+        self.slot_owner: Dict[int, Optional[str]] = {}
+        self._due: List[str] = []
+        self._final_due: List[str] = []
+        self._comm_states: Dict[str, CommState] = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _tick_time(self, name: str) -> float:
+        return self.tick_index[name] * self.periods[name]
+
+    def _norm(self, name: str) -> float:
+        return float(np.linalg.norm(self.states[name]))
+
+    def _maybe_flush(self, t: float) -> None:
+        """Open the barrier once every event at this instant has fired.
+
+        The coalescing tolerance scales with the clock (a few ulps of
+        ``t``): per-application tick times are independent ``k * period``
+        float products, so nominally coincident instants drift apart by
+        ``O(spacing(t))`` on long horizons — an absolute epsilon would
+        eventually split one sampling instant into two barriers and run
+        slot arbitration with a partial roster.
+        """
+        nxt = self.queue.peek_time()
+        if nxt is not None and nxt <= t + max(_TIME_TOL, 8.0 * np.spacing(abs(t))):
+            return
+        if self._due or self._final_due:
+            self._sample_phase(t)
+
+    # -- setup ------------------------------------------------------------
+
+    def run(self) -> SimulationTrace:
+        for app in self.apps:
+            name = app.name
+            self.bank.register(name, app.dynamics, self.periods[name])
+            self.states[name] = np.zeros(app.dynamics.n_states)
+            self.held[name] = np.zeros(app.app.et.plant.n_inputs)
+            self.pending[name] = deque()
+            self.tick_index[name] = 0
+            self.slot_owner.setdefault(app.slot, None)
+            self.traces.add(
+                AppTrace(
+                    name=name,
+                    threshold=app.app.threshold,
+                    deadline=app.deadline,
+                )
             )
-            _, gamma_lead = zoh_integrals(self._dynamics.a, self._dynamics.b, delay)
-            pair = (gamma0, exp_trail @ gamma_lead)
-        self._cache[key] = pair
-        return pair
+        # Disturbance arrivals: applied at the application's first
+        # sampling instant at or after the arrival (the paper's
+        # sample-aligned model); arrivals past the last tick never apply.
+        for app in self.apps:
+            name = app.name
+            p = self.periods[name]
+            for event in app.disturbances.events_until(self.horizon):
+                k = max(0, int(np.ceil((event.time - _TIME_TOL) / p)))
+                if k >= self.steps[name]:
+                    continue
+                self.queue.schedule(k * p, self._disturbance_cb(name, event))
+        for app in self.apps:
+            self.queue.schedule(0.0, self._tick_cb(app.name))
+        self.queue.run()
+        return self.traces
+
+    def _tick_cb(self, name: str):
+        def fire(t: float) -> None:
+            self._due.append(name)
+            self._maybe_flush(t)
+
+        return fire
+
+    def _final_cb(self, name: str):
+        def fire(t: float) -> None:
+            self._final_due.append(name)
+            self._maybe_flush(t)
+
+        return fire
+
+    def _disturbance_cb(self, name: str, event: DisturbanceEvent):
+        def fire(t: float) -> None:
+            self.pending[name].append(event)
+            self._maybe_flush(t)
+
+        return fire
+
+    # -- barrier phases ---------------------------------------------------
+
+    def _sample_phase(self, t: float) -> None:
+        """Resolve finished intervals, apply disturbances, advance the
+        per-application state machines; chains into the grant phase."""
+        sim = self.sim
+        due = sorted(self._due, key=self.index.__getitem__)
+        finals = sorted(self._final_due, key=self.index.__getitem__)
+        self._due, self._final_due = [], []
+        if not self.eager:
+            self._resolve(t, due + finals)
+        for name in finals:
+            runtime = sim.runtimes[name]
+            self.traces[name].append(
+                self.steps[name] * self.periods[name],
+                self._norm(name),
+                runtime.state,
+                0.0,
+            )
+            self.traces[name].response_times = runtime.response_times()
+        if not due:
+            if not self.eager and self.queue.peek_time() is not None:
+                # Keep background traffic flowing between barriers even
+                # when no control loop sampled at this one.
+                self.network.event_submit(t, self.queue.peek_time(), [])
+            return
+        for name in due:
+            app = self.by_name[name]
+            events = self.pending[name]
+            tick = self._tick_time(name)
+            while events:
+                event = events.popleft()
+                self.states[name] = (
+                    self.states[name] + event.magnitude * app.disturbance_state
+                )
+                sim.runtimes[name].on_disturbance(tick)
+        sim.arbiter.grant_pending()
+        self._comm_states = {}
+        for name in due:
+            self._comm_states[name] = sim.runtimes[name].update(
+                self._tick_time(name), self._norm(name)
+            )
+        self._active_due = due
+        self.queue.schedule(t, self._grant_phase)
+
+    def _grant_phase(self, t: float) -> None:
+        """Hand freed slots over; a grant may flip a *due* application
+        from WAITING to TT for this very sample (sample-aligned switch)."""
+        sim = self.sim
+        granted = sim.arbiter.grant_pending()
+        for name in granted:
+            runtime = sim.runtimes.get(name)
+            if (
+                name in self._comm_states
+                and runtime is not None
+                and runtime.state is CommState.WAITING
+            ):
+                self._comm_states[name] = runtime.update(
+                    self._tick_time(name), self._norm(name)
+                )
+        self.queue.schedule(t, self._transmit_phase)
+
+    def _transmit_phase(self, t: float) -> None:
+        """Propagate slot ownership, compute control inputs, put the
+        messages on the bus, and schedule the next sampling ticks."""
+        sim = self.sim
+        due = self._active_due
+        for app in self.apps:
+            holder = sim.arbiter.holder_of_slot(app.slot)
+            if self.slot_owner[app.slot] != holder:
+                spec = None
+                if holder is not None:
+                    spec = next(a.frame for a in self.apps if a.name == holder)
+                self.network.on_slot_change(app.slot, spec)
+                self.slot_owner[app.slot] = holder
+        submissions: List[Submission] = []
+        inputs: Dict[str, np.ndarray] = {}
+        for name in due:
+            app = self.by_name[name]
+            uses_tt = self._comm_states[name] is CommState.TT_HOLDING
+            controller = app.app.tt if uses_tt else app.app.et
+            u = controller.control(self.states[name], self.held[name])
+            inputs[name] = u
+            submissions.append(
+                Submission(
+                    name=name,
+                    spec=app.frame,
+                    uses_tt=uses_tt,
+                    slot=app.slot if uses_tt else None,
+                    release_time=self._tick_time(name),
+                )
+            )
+        if self.eager:
+            self._resolve_eager(t, due, inputs, submissions)
+        else:
+            for name in due:
+                uses_tt = self._comm_states[name] is CommState.TT_HOLDING
+                trace = self.traces[name]
+                trace.append(
+                    self._tick_time(name),
+                    self._norm(name),
+                    self._comm_states[name],
+                    float("nan"),  # patched when the interval resolves
+                )
+                self.inflight[name] = _InFlight(
+                    release=self._tick_time(name),
+                    period=self.periods[name],
+                    u=np.asarray(inputs[name], dtype=float),
+                    uses_tt=uses_tt,
+                    trace_index=len(trace.delays) - 1,
+                )
+        for name in due:
+            self.tick_index[name] += 1
+            k = self.tick_index[name]
+            if k < self.steps[name]:
+                self.queue.schedule(k * self.periods[name], self._tick_cb(name))
+            elif k == self.steps[name]:
+                self.queue.schedule(k * self.periods[name], self._final_cb(name))
+        if not self.eager:
+            window_end = self.queue.peek_time()
+            if window_end is None:
+                window_end = t
+            self.network.event_submit(t, window_end, submissions)
+
+    # -- delay resolution -------------------------------------------------
+
+    def _resolve_eager(
+        self,
+        t: float,
+        due: List[str],
+        inputs: Dict[str, np.ndarray],
+        submissions: List[Submission],
+    ) -> None:
+        """Shared-period resolution: one batch network call per barrier,
+        the exact call sequence of the legacy fixed-step kernel."""
+        sim = self.sim
+        period = self.periods[due[0]]
+        delays = self.network.sample_delays(t, period, submissions)
+        if sim.equalize_delays:
+            for name in due:
+                if not np.isfinite(delays[name]):
+                    continue  # lost frame: nothing to equalize
+                app = self.by_name[name]
+                uses_tt = self._comm_states[name] is CommState.TT_HOLDING
+                design = (app.app.tt if uses_tt else app.app.et).plant.delay
+                if delays[name] <= design + 1e-12:
+                    delays[name] = design
+                else:
+                    sim.jitter_violations += 1
+        requests: Dict[str, Tuple[np.ndarray, np.ndarray, float]] = {}
+        lost_names = set()
+        for name in due:
+            delay = delays[name]
+            lost = not np.isfinite(delay)
+            if lost:
+                # The command never reached the actuator: the previous
+                # input holds for the whole period and stays latched.
+                delay = self.periods[name]
+                lost_names.add(name)
+            self.traces[name].append(
+                self._tick_time(name), self._norm(name), self._comm_states[name], delay
+            )
+            requests[name] = (inputs[name], self.held[name], delay)
+        self.bank.step_all(self.states, requests)
+        for name in due:
+            if name not in lost_names:
+                self.held[name] = np.asarray(inputs[name], dtype=float)
+
+    def _resolve(self, t: float, names: List[str]) -> None:
+        """Multi-rate resolution: advance the bus to ``t`` and settle
+        every interval that ends at this barrier."""
+        sim = self.sim
+        for delivery in self.network.event_advance(t):
+            record = self.inflight.get(delivery.name)
+            if record is None:
+                continue
+            if abs(delivery.release_time - record.release) <= 1e-9:
+                record.delivery = delivery.delivery_time
+                record.lost = delivery.lost
+            # else: stale delivery from an interval already clamped
+        requests: Dict[str, Tuple[np.ndarray, np.ndarray, float]] = {}
+        resolved: List[Tuple[str, _InFlight, bool]] = []
+        for name in names:
+            record = self.inflight.pop(name, None)
+            if record is None:
+                continue  # the very first tick has no interval behind it
+            period = record.period
+            if record.lost:
+                delay = period
+            else:
+                if record.delivery is None:
+                    delay = period
+                    clamped = getattr(self.network, "event_clamped", None)
+                    if clamped is not None:
+                        clamped()
+                else:
+                    delay = min(record.delivery - record.release, period)
+                if sim.equalize_delays:
+                    app = self.by_name[name]
+                    design = (
+                        app.app.tt if record.uses_tt else app.app.et
+                    ).plant.delay
+                    if delay <= design + 1e-12:
+                        delay = design
+                    else:
+                        sim.jitter_violations += 1
+            self.traces[name].delays[record.trace_index] = delay
+            requests[name] = (record.u, self.held[name], delay)
+            resolved.append((name, record, record.lost))
+        self.bank.step_all(self.states, requests)
+        for name, record, lost in resolved:
+            if not lost:
+                self.held[name] = record.u
 
 
 class CoSimulator:
-    """Fixed-step co-simulation of applications sharing TT slots.
+    """Co-simulation of applications sharing TT slots.
 
-    All applications must share the same sampling period (the paper's
-    case study uses ``h = 20 ms`` throughout); disturbances are applied
-    at the first sampling instant at or after their arrival time.
+    The default event-driven kernel supports fleets with *mixed*
+    sampling periods (disturbance arrivals, per-application ticks, slot
+    hand-overs and transmissions are queue events); ``legacy=True``
+    selects the original fixed-step polling loop, which requires all
+    applications to share one sampling period (the paper's case study
+    uses ``h = 20 ms`` throughout).  Disturbances are applied at the
+    owning application's first sampling instant at or after their
+    arrival time in both kernels, and shared-period traces are bitwise
+    identical across kernels.
     """
 
     def __init__(
@@ -232,6 +668,7 @@ class CoSimulator:
         period: Optional[float] = None,
         equalize_delays: bool = True,
         tt_allowed: bool = True,
+        legacy: bool = False,
     ):
         if not applications:
             raise ValueError("need at least one application")
@@ -239,12 +676,27 @@ class CoSimulator:
         if len(set(names)) != len(names):
             raise ValueError(f"application names must be unique, got {names}")
         periods = {round(a.app.period, 12) for a in applications}
-        if len(periods) != 1:
+        if legacy and len(periods) != 1:
             raise ValueError(
-                f"all applications must share one sampling period, got {periods}"
+                "the legacy fixed-step kernel requires one shared sampling "
+                f"period, got {sorted(periods)}; use the event kernel "
+                "(legacy=False) for multi-rate fleets"
             )
-        self.period = period if period is not None else applications[0].app.period
-        check_positive(self.period, "period")
+        if period is not None:
+            if len(periods) != 1:
+                raise ValueError(
+                    "an explicit period override would resample a multi-rate "
+                    f"fleet (native periods {sorted(periods)}) with controllers "
+                    "designed for other rates; omit period= to run each "
+                    "application at its own"
+                )
+            check_positive(period, "period")
+            self.period: Optional[float] = period
+        elif len(periods) == 1:
+            self.period = applications[0].app.period
+        else:
+            self.period = None  # multi-rate: each application keeps its own
+        self.legacy = legacy
         self.applications = list(applications)
         self.network = network
         self.equalize_delays = equalize_delays
@@ -252,6 +704,7 @@ class CoSimulator:
         self.arbiter = TTSlotArbiter()
         self.runtimes: Dict[str, SwitchingRuntime] = {}
         for app in self.applications:
+            check_positive(app.app.period, f"period of {app.name!r}")
             runtime = SwitchingRuntime(
                 name=app.name,
                 threshold=app.app.threshold,
@@ -262,13 +715,24 @@ class CoSimulator:
             self.arbiter.register(runtime.client(), app.slot)
             self.runtimes[app.name] = runtime
 
+    def period_of(self, app: CoSimApplication) -> float:
+        """Effective sampling period of one application."""
+        return self.period if self.period is not None else app.app.period
+
     def run(self, horizon: float) -> SimulationTrace:
         """Simulate up to ``horizon`` seconds and return the trace."""
         check_positive(horizon, "horizon")
-        steps = int(np.ceil(horizon / self.period))
-        steppers = {
-            a.name: _DelayedStepper(a.dynamics, self.period) for a in self.applications
-        }
+        if self.legacy:
+            return self._run_legacy(horizon)
+        return _EventKernel(self, horizon).run()
+
+    def _run_legacy(self, horizon: float) -> SimulationTrace:
+        """The original fixed-step polling loop (shared period only)."""
+        period = self.period
+        steps = int(np.ceil(horizon / period))
+        bank = PlantStepperBank()
+        for a in self.applications:
+            bank.register(a.name, a.dynamics, period)
         states = {
             a.name: np.zeros(a.dynamics.n_states) for a in self.applications
         }
@@ -276,7 +740,7 @@ class CoSimulator:
             a.name: np.zeros(a.app.et.plant.n_inputs) for a in self.applications
         }
         pending_events = {
-            a.name: list(a.disturbances.events_until(horizon))
+            a.name: deque(a.disturbances.events_until(horizon))
             for a in self.applications
         }
         traces = SimulationTrace(horizon=horizon)
@@ -291,12 +755,12 @@ class CoSimulator:
         slot_owner: Dict[int, Optional[str]] = {a.slot: None for a in self.applications}
 
         for k in range(steps):
-            time = k * self.period
+            time = k * period
             # 1. Apply disturbances due at this instant.
             for app in self.applications:
                 events = pending_events[app.name]
                 while events and events[0].time <= time + 1e-12:
-                    event = events.pop(0)
+                    event = events.popleft()
                     states[app.name] = (
                         states[app.name] + event.magnitude * app.disturbance_state
                     )
@@ -343,7 +807,7 @@ class CoSimulator:
                         release_time=time,
                     )
                 )
-            delays = self.network.sample_delays(time, self.period, submissions)
+            delays = self.network.sample_delays(time, period, submissions)
             if self.equalize_delays:
                 # Buffer actuation until the design-time offset of the
                 # active mode: the controllers were designed for a fixed
@@ -363,6 +827,8 @@ class CoSimulator:
                     else:
                         self.jitter_violations += 1
             # 5. Step plants with the experienced delays; record traces.
+            requests: Dict[str, Tuple[np.ndarray, np.ndarray, float]] = {}
+            lost_names = set()
             for app in self.applications:
                 name = app.name
                 delay = delays[name]
@@ -370,19 +836,20 @@ class CoSimulator:
                 if lost:
                     # The command never reached the actuator: the previous
                     # input holds for the whole period and stays latched.
-                    delay = self.period
+                    delay = period
+                    lost_names.add(name)
                 norm = float(np.linalg.norm(states[name]))
                 traces[name].append(time, norm, comm_states[name], delay)
-                states[name] = steppers[name].step(
-                    states[name], inputs[name], held_inputs[name], delay
-                )
-                if not lost:
-                    held_inputs[name] = np.asarray(inputs[name], dtype=float)
+                requests[name] = (inputs[name], held_inputs[name], delay)
+            bank.step_all(states, requests)
+            for app in self.applications:
+                if app.name not in lost_names:
+                    held_inputs[app.name] = np.asarray(inputs[app.name], dtype=float)
         # Final norm sample at the horizon for settling checks.
         for app in self.applications:
             name = app.name
             traces[name].append(
-                steps * self.period,
+                steps * period,
                 float(np.linalg.norm(states[name])),
                 self.runtimes[name].state,
                 0.0,
@@ -395,6 +862,7 @@ __all__ = [
     "AnalyticNetwork",
     "CoSimApplication",
     "CoSimulator",
+    "Delivery",
     "FlexRayNetwork",
     "NetworkModel",
     "Submission",

@@ -82,6 +82,18 @@ class EventQueue:
             self.step()
         self._now = max(self._now, horizon)
 
+    def run(self) -> int:
+        """Fire events until the queue drains; returns the fire count.
+
+        Callbacks may keep scheduling new events (the co-simulation
+        kernel chains barriers this way); the queue simply runs until
+        nothing is left.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+        return fired
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

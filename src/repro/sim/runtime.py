@@ -145,6 +145,10 @@ class SwitchingRuntime:
         """Response times of all completed disturbance episodes."""
         return [r.response_time for r in self.records if r.response_time is not None]
 
+    def wait_times(self) -> List[float]:
+        """ET-mode wait before the slot grant, per granted episode."""
+        return [r.wait_time for r in self.records if r.wait_time is not None]
+
     def deadline_misses(self) -> int:
         return sum(1 for r in self.response_times() if r > self.deadline + 1e-9)
 

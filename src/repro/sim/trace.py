@@ -74,6 +74,20 @@ class AppTrace:
     def max_delay(self) -> float:
         return max(self.delays) if self.delays else 0.0
 
+    def qoc(self) -> float:
+        """Quality-of-control cost: integral of ``||x||^2`` over the run.
+
+        Left-rectangle quadrature on the recorded sampling grid (exact
+        for the piecewise-constant inter-sample norm the trace stores).
+        Lower is better; multi-rate traces integrate each application on
+        its own grid, so costs stay comparable across periods.
+        """
+        if len(self.times) < 2:
+            return 0.0
+        times = np.asarray(self.times)
+        norms = np.asarray(self.norms)
+        return float(np.sum(norms[:-1] ** 2 * np.diff(times)))
+
     def to_csv(self) -> str:
         """Render the trace as CSV (time, norm, state, delay) for export."""
         lines = ["time,norm,state,delay"]
@@ -130,6 +144,14 @@ class SimulationTrace:
 
     def all_deadlines_met(self) -> bool:
         return all(trace.deadline_met() for trace in self.apps.values())
+
+    def qoc(self) -> float:
+        """Fleet QoC: mean of the per-application quadratic costs."""
+        if not self.apps:
+            return 0.0
+        return float(
+            np.mean([trace.qoc() for trace in self.apps.values()])
+        )
 
     def write_csv(self, directory) -> List[str]:
         """Write one ``<app>.csv`` per application; returns the paths."""

@@ -131,3 +131,88 @@ class TestStudyCommand:
         # top-level position (legacy) and post-subcommand position both work
         assert main(["--json", "table1", "--paper-only"]) == 0
         json.loads(capsys.readouterr().out)
+
+
+class TestSweepCommand:
+    SWEEP_ARGS = [
+        "sweep",
+        "--scenario", "multirate-cosim-analytic",
+        "--replications", "2",
+        "--wait-step", "4",
+    ]
+
+    def test_sweep_runs_and_reports(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Sweep of" in out and "QoC" in out
+
+    def test_sweep_json_and_axes(self, capsys):
+        assert (
+            main(self.SWEEP_ARGS + ["--axis", "loss_rate=0,0.05", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["cells"]) == 2
+        assert len(payload["runs"]) == 4
+        assert {run["seed"] for run in payload["runs"]} == {0, 1}
+
+    def test_sweep_streams_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        assert main(self.SWEEP_ARGS + ["--output", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all("qoc" in json.loads(line) for line in lines)
+
+    def test_sweep_bad_axis_is_clean_error(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--axis", "nonsense"]) == 2
+        captured = capsys.readouterr()
+        assert "--axis" in captured.err and "Traceback" not in captured.err
+
+    def test_sweep_duplicate_axis_is_clean_error(self, capsys):
+        argv = self.SWEEP_ARGS + ["--axis", "loss_rate=0", "--axis", "loss_rate=0.05"]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "given twice" in captured.err and "Traceback" not in captured.err
+
+    def test_sweep_seed_axis_is_clean_error(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--axis", "seed=1,2"]) == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_sweep_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["sweep", "--scenario", "no-such"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestStudySeed:
+    def test_seed_threads_into_cosim_artifact(self, capsys):
+        assert (
+            main(
+                [
+                    "study",
+                    "--scenario", "multirate-cosim-analytic",
+                    "--wait-step", "4",
+                    "--seed", "9",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        result = StudyResult.from_json(capsys.readouterr().out)
+        assert result.scenario.seed == 9
+        assert result.artifact("cosim")["seed"] == 9
+
+    def test_process_executor_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "study",
+                    "--scenario", "paper-table1",
+                    "--scenario", "paper-table1-monotonic",
+                    "--executor", "process",
+                    "--jobs", "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert [StudyResult.from_dict(p).slot_count for p in payload] == [3, 5]

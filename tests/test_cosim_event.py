@@ -1,0 +1,269 @@
+"""Event-driven co-simulation kernel: equivalence and multi-rate tests.
+
+The acceptance bar of the kernel refactor: on shared-period scenarios
+the event kernel and the legacy fixed-step loop produce *bitwise
+identical* traces (same operations, same order), and multi-rate fleets
+— impossible under the legacy loop — run end-to-end with per-application
+sampling grids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.controller import design_switched_application
+from repro.control.disturbance import (
+    OneShotDisturbance,
+    PeriodicDisturbance,
+    SporadicDisturbance,
+)
+from repro.control.plants import (
+    dc_motor_speed,
+    motor_current_loop,
+    servo_rig,
+    throttle_by_wire,
+)
+from repro.experiments import traces_bitwise_equal
+from repro.flexray import FlexRayBus, FrameSpec, paper_bus_config
+from repro.flexray.params import FlexRayConfig
+from repro.sim import (
+    AnalyticNetwork,
+    CoSimApplication,
+    CoSimulator,
+    FlexRayNetwork,
+    PlantStepperBank,
+    ZOHCache,
+)
+
+
+def make_app(name, plantdef, slot, frame_id, deadline, disturbances=None, period=None):
+    period = period or plantdef.period
+    app = design_switched_application(
+        name=name,
+        plant=plantdef.model,
+        period=period,
+        et_delay=period,
+        tt_delay=0.0007,
+        q=plantdef.q,
+        r=plantdef.r,
+        threshold=plantdef.threshold,
+    )
+    return CoSimApplication(
+        app=app,
+        dynamics=plantdef.model,
+        disturbance_state=plantdef.disturbance,
+        disturbances=disturbances or OneShotDisturbance(time=0.0),
+        deadline=deadline,
+        slot=slot,
+        frame=FrameSpec(frame_id=frame_id, sender=name),
+    )
+
+
+def shared_fleet(dist=None):
+    dist = dist or (lambda i: OneShotDisturbance(time=0.0))
+    return [
+        make_app("servo", servo_rig(), 0, 1, 5.0, dist(0)),
+        make_app("motor", dc_motor_speed(), 0, 2, 6.0, dist(1)),
+        make_app("throttle", throttle_by_wire(), 1, 3, 6.0, dist(2)),
+    ]
+
+
+def multirate_fleet():
+    return [
+        make_app("current", motor_current_loop(), 0, 1, 0.5, period=0.002),
+        make_app("servo", servo_rig(), 0, 2, 5.0, PeriodicDisturbance(period=5.0)),
+        make_app("motor", dc_motor_speed(), 1, 3, 6.0),
+    ]
+
+
+class TestSharedPeriodEquivalence:
+    """Event kernel == legacy kernel, bit for bit."""
+
+    def test_analytic_oneshot(self):
+        event = CoSimulator(shared_fleet(), AnalyticNetwork()).run(6.0)
+        legacy = CoSimulator(shared_fleet(), AnalyticNetwork(), legacy=True).run(6.0)
+        assert traces_bitwise_equal(event, legacy)
+
+    def test_flexray_periodic_disturbances(self):
+        dist = lambda i: PeriodicDisturbance(period=2.5, offset=0.31 * i)  # noqa: E731
+        net = lambda: FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))  # noqa: E731
+        event = CoSimulator(shared_fleet(dist), net()).run(7.3)
+        legacy = CoSimulator(shared_fleet(dist), net(), legacy=True).run(7.3)
+        assert traces_bitwise_equal(event, legacy)
+
+    def test_flexray_with_frame_loss_and_sporadic_arrivals(self):
+        """Loss injection draws from one RNG; its order must match too."""
+        dist = lambda i: SporadicDisturbance(  # noqa: E731
+            min_inter_arrival=2.0, mean_extra_gap=0.7, seed=i
+        )
+        net = lambda: FlexRayNetwork(  # noqa: E731
+            bus=FlexRayBus(config=paper_bus_config()), loss_rate=0.3, loss_seed=7
+        )
+        event_net, legacy_net = net(), net()
+        event = CoSimulator(shared_fleet(dist), event_net).run(9.0)
+        legacy = CoSimulator(shared_fleet(dist), legacy_net, legacy=True).run(9.0)
+        assert traces_bitwise_equal(event, legacy)
+        assert event_net.lost == legacy_net.lost
+        assert event_net.clamped == legacy_net.clamped
+
+    def test_jitter_violation_counters_match(self):
+        net = lambda: FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))  # noqa: E731
+        event_sim = CoSimulator(shared_fleet(), net(), equalize_delays=False)
+        legacy_sim = CoSimulator(shared_fleet(), net(), equalize_delays=False, legacy=True)
+        assert traces_bitwise_equal(event_sim.run(3.0), legacy_sim.run(3.0))
+        assert event_sim.jitter_violations == legacy_sim.jitter_violations
+
+    def test_duplicate_dynamics_still_equivalent(self):
+        """Same-dynamics fleets take the vectorized stepping path; both
+        kernels share it, so equality must survive."""
+
+        def fleet():
+            return [
+                make_app("servo-a", servo_rig(), 0, 1, 5.0),
+                make_app("servo-b", servo_rig(), 1, 2, 5.0,
+                         PeriodicDisturbance(period=3.0, offset=1.0)),
+            ]
+
+        event = CoSimulator(fleet(), AnalyticNetwork()).run(6.0)
+        legacy = CoSimulator(fleet(), AnalyticNetwork(), legacy=True).run(6.0)
+        assert traces_bitwise_equal(event, legacy)
+
+
+class TestMultiRate:
+    def test_analytic_multirate_runs_on_native_grids(self):
+        trace = CoSimulator(multirate_fleet(), AnalyticNetwork()).run(6.0)
+        current, servo = trace["current"], trace["servo"]
+        assert current.times[1] - current.times[0] == pytest.approx(0.002)
+        assert servo.times[1] - servo.times[0] == pytest.approx(0.02)
+        # ~6 s of 2 ms samples plus the final horizon sample
+        assert len(current.times) == 3001
+        assert len(servo.times) == 301
+        assert not any(np.isnan(current.delays))
+        assert trace.all_deadlines_met()
+
+    def test_flexray_multirate_shares_one_bus(self):
+        config = FlexRayConfig(
+            cycle_length=0.001,
+            static_slots=3,
+            static_slot_length=0.0002,
+            minislot_length=0.00001,
+        )
+        network = FlexRayNetwork(bus=FlexRayBus(config=config))
+        trace = CoSimulator(multirate_fleet(), network).run(6.0)
+        assert trace.all_deadlines_met()
+        assert network.bus.statistics.tt_deliveries > 0
+        assert network.bus.statistics.et_deliveries > 0
+        assert not any(np.isnan(trace["current"].delays))
+
+    def test_each_rate_rejects_its_disturbances(self):
+        trace = CoSimulator(multirate_fleet(), AnalyticNetwork()).run(6.0)
+        assert len(trace["current"].response_times) >= 1
+        assert len(trace["servo"].response_times) == 2  # periodic, 5 s apart
+
+    def test_legacy_kernel_rejects_multirate(self):
+        with pytest.raises(ValueError, match="shared sampling period"):
+            CoSimulator(multirate_fleet(), AnalyticNetwork(), legacy=True)
+
+    def test_multirate_needs_event_network_interface(self):
+        class BatchOnlyNetwork:
+            def sample_delays(self, time, period, submissions):
+                return {s.name: 0.0 for s in submissions}
+
+            def on_slot_change(self, slot, spec):
+                pass
+
+        with pytest.raises(ValueError, match="event interface"):
+            CoSimulator(multirate_fleet(), BatchOnlyNetwork()).run(1.0)
+
+    def test_batch_only_network_fine_for_shared_period(self):
+        class BatchOnlyNetwork:
+            def sample_delays(self, time, period, submissions):
+                return {s.name: 0.0007 if s.uses_tt else period for s in submissions}
+
+            def on_slot_change(self, slot, spec):
+                pass
+
+        trace = CoSimulator(shared_fleet(), BatchOnlyNetwork()).run(4.0)
+        assert trace.all_deadlines_met()
+
+
+class TestStepperBank:
+    def test_vectorized_groups_engage_for_same_dynamics(self):
+        plant = servo_rig()
+        bank = PlantStepperBank(cache=ZOHCache())
+        for name in ("a", "b", "c"):
+            bank.register(name, plant.model, plant.period)
+        states = {n: np.ones(2) for n in "abc"}
+        u = np.array([0.1])
+        bank.step_all(states, {n: (u, u, 0.0007) for n in "abc"})
+        assert bank.vector_steps == 3 and bank.scalar_steps == 0
+
+    def test_vectorized_matches_physics_of_scalar_path(self):
+        plant = servo_rig()
+        shared_cache = ZOHCache()
+        batched = PlantStepperBank(cache=shared_cache)
+        single = PlantStepperBank(cache=shared_cache)
+        for name in ("a", "b"):
+            batched.register(name, plant.model, plant.period)
+        single.register("solo", plant.model, plant.period)
+        x0 = np.array([0.3, -0.1])
+        u = np.array([0.25])
+        batch_states = {"a": x0.copy(), "b": x0.copy()}
+        solo_states = {"solo": x0.copy()}
+        batched.step_all(batch_states, {n: (u, 0 * u, 0.001) for n in ("a", "b")})
+        single.step_all(solo_states, {"solo": (u, 0 * u, 0.001)})
+        np.testing.assert_allclose(batch_states["a"], solo_states["solo"], rtol=1e-12)
+        np.testing.assert_array_equal(batch_states["a"], batch_states["b"])
+
+    def test_unregistered_step_request_raises(self):
+        bank = PlantStepperBank(cache=ZOHCache())
+        with pytest.raises(KeyError, match="unregistered"):
+            bank.step_all({}, {"ghost": (np.zeros(1), np.zeros(1), 0.0)})
+
+    def test_zoh_cache_shared_across_banks(self):
+        cache = ZOHCache()
+        plant = servo_rig()
+        first = PlantStepperBank(cache=cache)
+        first.register("a", plant.model, plant.period)
+        second = PlantStepperBank(cache=cache)
+        second.register("b", plant.model, plant.period)
+        stats = cache.stats()
+        assert stats["plants"] == 1
+        assert stats["hits"] >= 1  # the second bank reused the discretisation
+
+
+class TestEventKernelDetails:
+    def test_disturbance_between_samples_lands_on_next_tick(self):
+        app = make_app(
+            "servo", servo_rig(), 0, 1, 5.0,
+            disturbances=OneShotDisturbance(time=0.0305),
+        )
+        event = CoSimulator([app], AnalyticNetwork()).run(3.0)
+        legacy = CoSimulator(
+            [make_app("servo", servo_rig(), 0, 1, 5.0,
+                      disturbances=OneShotDisturbance(time=0.0305))],
+            AnalyticNetwork(),
+            legacy=True,
+        ).run(3.0)
+        assert traces_bitwise_equal(event, legacy)
+        norms = event["servo"].norms
+        # flat until the 0.04 s sample applies the jump
+        assert norms[1] == 0.0 and norms[2] > 0.0
+
+    def test_disturbance_after_last_tick_never_applies(self):
+        app = make_app(
+            "servo", servo_rig(), 0, 1, 5.0,
+            disturbances=OneShotDisturbance(time=0.999),
+        )
+        trace = CoSimulator([app], AnalyticNetwork()).run(1.0)
+        assert max(trace["servo"].norms) == 0.0
+
+    def test_period_override_applies_to_all(self):
+        apps = [make_app("servo", servo_rig(), 0, 1, 5.0)]
+        trace = CoSimulator(apps, AnalyticNetwork(), period=0.01).run(1.0)
+        assert trace["servo"].times[1] - trace["servo"].times[0] == pytest.approx(0.01)
+
+    def test_period_override_rejected_for_multirate_fleet(self):
+        """Resampling a mixed-rate fleet at one override period would run
+        controllers designed for other rates — refuse loudly."""
+        with pytest.raises(ValueError, match="multi-rate"):
+            CoSimulator(multirate_fleet(), AnalyticNetwork(), period=0.02)

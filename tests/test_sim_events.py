@@ -69,3 +69,60 @@ class TestEventQueue:
 
     def test_step_on_empty_returns_false(self):
         assert EventQueue().step() is False
+
+    def test_cancel_is_idempotent_and_skips_only_the_target(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.schedule(1.0, lambda t: fired.append("keep"))
+        drop = queue.schedule(1.0, lambda t: fired.append("drop"))
+        queue.cancel(drop)
+        queue.cancel(drop)  # double-cancel must be harmless
+        queue.run_until(2.0)
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_cancel_head_updates_peek(self):
+        queue = EventQueue()
+        head = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        queue.cancel(head)
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+    def test_same_time_insertion_order_survives_interleaved_cancels(self):
+        queue = EventQueue()
+        fired = []
+        handles = [
+            queue.schedule(1.0, lambda t, tag=tag: fired.append(tag))
+            for tag in "abcd"
+        ]
+        queue.cancel(handles[1])  # drop "b"
+        queue.cancel(handles[3])  # drop "d"
+        queue.run_until(1.0)
+        assert fired == ["a", "c"]
+
+    def test_run_until_boundary_tolerance(self):
+        """Events within 1e-12 of the horizon fire; beyond it they wait."""
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0 + 5e-13, lambda t: fired.append("inside"))
+        queue.schedule(1.0 + 1e-9, lambda t: fired.append("outside"))
+        queue.run_until(1.0)
+        assert fired == ["inside"]
+        assert queue.now >= 1.0  # clock reached the horizon
+        queue.run_until(1.0 + 1e-9)
+        assert fired == ["inside", "outside"]
+
+    def test_run_drains_chained_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 3.0:
+                queue.schedule(t + 1.0, chain)
+
+        queue.schedule(1.0, chain)
+        assert queue.run() == 3
+        assert fired == [1.0, 2.0, 3.0]
+        assert len(queue) == 0

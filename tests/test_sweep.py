@@ -1,0 +1,185 @@
+"""Tests for the seeded Monte-Carlo sweep subsystem."""
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    DwellCurveCache,
+    get_scenario,
+    run_many,
+    run_sweep,
+)
+from repro.pipeline.sweep import expand_sweep
+
+#: Cheap co-sim base for every test: two-plant multirate roster subset,
+#: short horizon, deterministic analytic network.  (The stride must stay
+#: fine enough for the 2 ms loop's short dwell curve.)
+def cheap_base(**overrides):
+    settings = dict(
+        apps=("motor-current-loop", "servo-rig"),
+        wait_step=4,
+        horizon=2.0,
+    )
+    settings.update(overrides)
+    return get_scenario("multirate-cosim-analytic").derive(
+        name="sweep-base", **settings
+    )
+
+
+class TestExpandSweep:
+    def test_grid_times_replications(self):
+        runs = expand_sweep(
+            cheap_base(),
+            axes={"loss_rate": [0.0, 0.1], "dwell_shape": ["non-monotonic"]},
+            replications=3,
+            seed0=5,
+        )
+        assert len(runs) == 6
+        cells = {cell for cell, _ in runs}
+        assert len(cells) == 2
+        seeds = sorted(s.seed for _, s in runs)
+        assert seeds == [5, 5, 6, 6, 7, 7]
+
+    def test_cell_names_encode_overrides(self):
+        runs = expand_sweep(cheap_base(), axes={"loss_rate": [0.25]})
+        cell, scenario = runs[0]
+        assert "loss_rate=0.25" in cell
+        assert scenario.loss_rate == 0.25
+        assert scenario.name.endswith("#seed0")
+
+    def test_no_axes_is_pure_replication(self):
+        runs = expand_sweep(cheap_base(), replications=4)
+        assert len(runs) == 4
+        assert len({cell for cell, _ in runs}) == 1
+
+    def test_unknown_axis_field_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            expand_sweep(cheap_base(), axes={"bogus_field": [1]})
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(ValueError, match="replications"):
+            expand_sweep(cheap_base(), replications=0)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            expand_sweep(cheap_base(), axes={"loss_rate": []})
+
+    def test_seed_axis_rejected(self):
+        """Replication seeding owns the seed field; an axis over it would
+        be silently clobbered, so it must be refused."""
+        with pytest.raises(ValueError, match="seed"):
+            expand_sweep(cheap_base(), axes={"seed": [1, 2]})
+
+
+class TestRunSweep:
+    def test_serial_aggregation(self):
+        # horizon long enough for seeded *second* arrivals to differ
+        result = run_sweep(
+            cheap_base(disturbance="sporadic", horizon=6.0),
+            replications=3,
+            max_workers=1,
+            cache=DwellCurveCache(),
+        )
+        assert result.run_count == 3
+        (cell,) = result.cells
+        assert cell.runs == 3 and cell.failures == 0
+        qoc = cell.metrics["qoc"]
+        assert qoc["n"] == 3
+        assert qoc["min"] <= qoc["mean"] <= qoc["max"]
+        assert qoc["std"] > 0  # sporadic seeds genuinely differ
+        assert qoc["ci95"] == pytest.approx(1.96 * qoc["std"] / 3**0.5)
+        assert cell.deadlines_met_rate is not None
+
+    def test_jsonl_streaming(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        result = run_sweep(
+            cheap_base(),
+            axes={"loss_rate": [0.0, 0.05]},
+            replications=2,
+            max_workers=1,
+            cache=DwellCurveCache(),
+            jsonl_path=str(path),
+        )
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == result.run_count == 4
+        rows = [json.loads(line) for line in lines]
+        assert {row["cell"] for row in rows} == {c.name for c in result.cells}
+        for row in rows:
+            assert row["ok"] is True
+            assert "qoc" in row and "seed" in row
+
+    def test_thread_pool_matches_serial_cells(self):
+        serial = run_sweep(
+            cheap_base(), replications=2, max_workers=1, cache=DwellCurveCache()
+        )
+        threaded = run_sweep(
+            cheap_base(), replications=2, max_workers=2, cache=DwellCurveCache()
+        )
+        assert serial.cells[0].metrics["qoc"]["mean"] == pytest.approx(
+            threaded.cells[0].metrics["qoc"]["mean"]
+        )
+
+    def test_process_executor_smoke(self):
+        cache = DwellCurveCache()
+        # wait_step=3 is used nowhere else, so the (forked) workers
+        # cannot have inherited these measurements and must ship them.
+        result = run_sweep(
+            cheap_base(disturbance="sporadic", wait_step=3),
+            replications=2,
+            executor="process",
+            max_workers=2,
+            cache=cache,
+        )
+        assert result.run_count == 2
+        assert result.cells[0].failures == 0
+        # worker measurements were merged back into the parent cache
+        assert len(cache) > 0
+
+    def test_failed_cells_are_counted_not_raised(self):
+        # deadline_scale tiny enough to make the allocation infeasible
+        result = run_sweep(
+            cheap_base(),
+            axes={"deadline_scale": [1e-3]},
+            replications=2,
+            max_workers=1,
+            cache=DwellCurveCache(),
+        )
+        (cell,) = result.cells
+        assert cell.failures == 2
+        assert all(not row["ok"] for row in result.rows)
+        assert "failed_stage" in result.rows[0]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_sweep(cheap_base(), executor="fiber", cache=DwellCurveCache())
+
+    def test_to_dict_is_json_safe(self):
+        result = run_sweep(
+            cheap_base(), replications=1, max_workers=1, cache=DwellCurveCache()
+        )
+        text = json.dumps(result.to_dict())
+        assert "sweep-base" in text
+        assert "report" not in text  # only data, no rendered strings
+
+
+class TestRunManyProcess:
+    def test_results_in_input_order(self):
+        scenarios = [
+            cheap_base().derive(seed=s, disturbance="sporadic") for s in range(3)
+        ]
+        results = run_many(
+            scenarios, executor="process", max_workers=2, cache=DwellCurveCache()
+        )
+        assert [r.scenario.seed for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_many([cheap_base()], executor="fiber")
+
+    def test_registry_names_resolve_in_parent(self):
+        results = run_many(
+            ["paper-table1"], executor="process", max_workers=2
+        )
+        assert results[0].slot_count == 3
