@@ -12,6 +12,7 @@ Usage::
     python -m repro sensitivity [--scales 0.5 1.0 2.0]
     python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--seed N]
     python -m repro sweep [--scenario NAME] [--axis FIELD=V1,V2] [--replications N]
+                          [--ci-target HW [--ci-relative] --max-replications N --budget N]
     python -m repro solvers
 
 Every command accepts ``--json`` to emit machine-readable results
@@ -236,6 +237,10 @@ def _cmd_sweep(args):
         max_workers=args.jobs,
         jsonl_path=args.output,
         keep_results=False,
+        ci_target=args.ci_target,
+        ci_relative=args.ci_relative,
+        max_replications=args.max_replications,
+        budget=args.budget,
     )
     text = result.report()
     if args.output:
@@ -431,7 +436,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--replications",
         type=int,
         default=3,
-        help="seeded repeats per grid cell (default 3)",
+        help="seeded repeats per grid cell (default 3); with --ci-target "
+        "this is the per-cell minimum before stopping is considered",
+    )
+    p_sweep.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        metavar="HW",
+        help="adaptive mode: stop a cell once its QoC 95%% CI half-width "
+        "is <= HW and re-grant the freed budget to high-variance cells "
+        "(needs --max-replications and/or --budget)",
+    )
+    p_sweep.add_argument(
+        "--ci-relative",
+        action="store_true",
+        default=False,
+        help="interpret --ci-target as a fraction of each cell's |mean| "
+        "instead of an absolute half-width",
+    )
+    p_sweep.add_argument(
+        "--max-replications",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive mode: per-cell replication ceiling",
+    )
+    p_sweep.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive mode: global replication ceiling across all cells",
     )
     p_sweep.add_argument(
         "--seed0", type=int, default=0, help="first replication seed"

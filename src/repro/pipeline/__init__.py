@@ -27,6 +27,7 @@ Quickstart::
     sweep = run_many(scenario_grid("paper-table1"))
 """
 
+from repro.pipeline.adaptive import AdaptiveScheduler, CellState
 from repro.pipeline.cache import (
     GLOBAL_DWELL_CACHE,
     DwellCurveCache,
@@ -58,13 +59,16 @@ from repro.pipeline.stages import STAGE_ORDER, StageRecord, StudyContext
 from repro.pipeline.sweep import (
     CellStats,
     SweepResult,
+    expand_cells,
     expand_sweep,
     run_sweep,
 )
 
 __all__ = [
     "ALLOCATORS",
+    "AdaptiveScheduler",
     "BusSpec",
+    "CellState",
     "CellStats",
     "DISTURBANCES",
     "DWELL_SHAPES",
@@ -84,6 +88,7 @@ __all__ = [
     "StudyContext",
     "StudyResult",
     "SweepResult",
+    "expand_cells",
     "expand_sweep",
     "get_scenario",
     "register_scenario",

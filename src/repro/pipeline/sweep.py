@@ -5,63 +5,67 @@ A *sweep* is a two-level expansion of one base scenario:
 * **axes** — named scenario fields crossed into a cartesian grid
   (``{"loss_rate": [0.0, 0.05], "deadline_scale": [1.0, 0.75]}`` gives
   four *cells*);
-* **replications** — every cell is run ``n`` times with consecutive
-  seeds (``seed0 + r``), which re-draws sporadic disturbance arrivals
-  and FlexRay frame loss while holding the design fixed.
+* **replications** — every cell is run with consecutive seeds
+  (``seed0 + r``), which re-draws sporadic disturbance arrivals and
+  FlexRay frame loss while holding the design fixed.
 
-:func:`run_sweep` executes the expansion through
-:func:`~repro.pipeline.runner.run_many`-style workers (thread or
-process pools; co-sim-heavy grids want ``executor="process"`` — the
-simulation loop is pure Python and GIL-bound), optionally streaming one
-JSON line per finished study to disk as it lands, and aggregates each
-cell's quality-of-control statistics (mean / standard deviation / 95 %
-confidence half-width) so a 32-run grid collapses into a table you can
-read.
+:func:`run_sweep` dispatches replications in **rounds** through an
+:class:`~repro.pipeline.adaptive.AdaptiveScheduler` (thread or process
+pools; co-sim-heavy grids want ``executor="process"`` — the simulation
+loop is pure Python and GIL-bound).  In the default *fixed* mode every
+cell receives exactly ``replications`` runs.  Passing ``ci_target``
+switches to *adaptive* mode: a cell stops as soon as the Student-t 95 %
+half-width of its QoC mean reaches the target, and the freed budget is
+re-granted to the highest-variance open cells, up to
+``max_replications`` per cell and an optional global ``budget``.
+
+Per-cell statistics are maintained incrementally (Welford accumulators
+updated as rows land — aggregation never re-scans the row log), each
+finished study can stream one JSON line to disk as it completes (rows
+carry the dispatch ``round``), and a replication that *crashes* inside
+the pool is recorded as a synthetic failed row
+(``failed_stage="worker"``) instead of aborting the sweep — the rows
+already landed stay aggregated.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
-import math
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, IO, List, Optional, Sequence, Tuple, Union
 
+from repro.pipeline.adaptive import METRICS, AdaptiveScheduler, CellState
 from repro.pipeline.cache import DwellCurveCache, GLOBAL_DWELL_CACHE
 from repro.pipeline.result import StudyResult
 from repro.pipeline.runner import DesignStudy, _process_worker
 from repro.pipeline.scenario import Scenario
 from repro.pipeline.serialize import to_jsonable
 
-#: Per-study metrics aggregated across a cell's replications.
-METRICS = ("qoc", "worst_response", "jitter_violations", "duration")
 
-
-def expand_sweep(
+def expand_cells(
     base: Union[Scenario, str],
     axes: Optional[Dict[str, Sequence[Any]]] = None,
-    replications: int = 1,
-    seed0: int = 0,
 ) -> List[Tuple[str, Scenario]]:
-    """Expand ``base`` into ``(cell_name, scenario)`` runs.
+    """Cross the axis values into ``(cell_name, scenario)`` grid cells.
 
-    Cells are the cartesian product of the axis values (axis insertion
-    order is preserved, so run order is deterministic); each cell is
-    replicated with seeds ``seed0 .. seed0 + replications - 1``.
+    Axis insertion order is preserved, so cell order — and therefore
+    scheduling order — is deterministic.  Cells carry no seed; the
+    replication machinery derives ``seed0 + r`` per run.
     """
     if isinstance(base, str):
         from repro.pipeline.registry import get_scenario
 
         base = get_scenario(base)
-    if replications < 1:
-        raise ValueError(f"replications must be >= 1, got {replications}")
     axes = dict(axes or {})
     if "seed" in axes:
         raise ValueError(
@@ -74,7 +78,7 @@ def expand_sweep(
             raise ValueError(
                 f"axis {axis!r} needs a non-empty list of values, got {values!r}"
             )
-    runs: List[Tuple[str, Scenario]] = []
+    cells: List[Tuple[str, Scenario]] = []
     names = list(axes)
     for combo in itertools.product(*(axes[name] for name in names)):
         overrides = dict(zip(names, combo))
@@ -84,21 +88,48 @@ def expand_sweep(
             raise ValueError(
                 f"unknown scenario field in sweep axes: {exc}"
             ) from None
-        for r in range(replications):
-            scenario = cell.derive(
-                name=f"{cell.name}#seed{seed0 + r}", seed=seed0 + r
-            )
-            runs.append((cell.name, scenario))
-    return runs
+        cells.append((cell.name, cell))
+    return cells
 
 
-def _study_row(cell: str, result: StudyResult) -> Dict[str, Any]:
+def _replication_scenario(cell: Scenario, seed0: int, r: int) -> Scenario:
+    """Replication ``r`` of a cell runs with seed ``seed0 + r`` — the
+    same deterministic map in fixed and adaptive mode, so the two are
+    seed-compatible on the replications they share."""
+    seed = seed0 + r
+    return cell.derive(name=f"{cell.name}#seed{seed}", seed=seed)
+
+
+def expand_sweep(
+    base: Union[Scenario, str],
+    axes: Optional[Dict[str, Sequence[Any]]] = None,
+    replications: int = 1,
+    seed0: int = 0,
+) -> List[Tuple[str, Scenario]]:
+    """Expand ``base`` into the fixed grid's ``(cell_name, scenario)`` runs.
+
+    Cells are the cartesian product of the axis values; each cell is
+    replicated with seeds ``seed0 .. seed0 + replications - 1``.  (This
+    is the precomputed run list adaptive mode generalises; it remains
+    the public way to inspect a grid without running it.)
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    return [
+        (name, _replication_scenario(cell, seed0, r))
+        for name, cell in expand_cells(base, axes)
+        for r in range(replications)
+    ]
+
+
+def _study_row(cell: str, result: StudyResult, round_no: int) -> Dict[str, Any]:
     """One JSONL record / aggregation input per finished study."""
     cosim = result.stage("cosim")
     row: Dict[str, Any] = {
         "cell": cell,
         "scenario": result.scenario.name,
         "seed": result.scenario.seed,
+        "round": round_no,
         "ok": result.ok,
         "duration": result.duration,
         "slot_count": result.slot_count,
@@ -126,22 +157,22 @@ def _study_row(cell: str, result: StudyResult) -> Dict[str, Any]:
     return row
 
 
-def _aggregate(values: List[float]) -> Dict[str, float]:
-    """Mean / sample std / 95 % normal CI half-width / extremes."""
-    n = len(values)
-    mean = sum(values) / n
-    if n > 1:
-        var = sum((v - mean) ** 2 for v in values) / (n - 1)
-        std = math.sqrt(var)
-    else:
-        std = 0.0
+def _crash_row(
+    cell: str, scenario: Scenario, round_no: int, exc: BaseException
+) -> Dict[str, Any]:
+    """Synthetic failed row for a replication that died *inside* the
+    pool (worker crash, pickling error, non-domain exception) — the
+    sweep keeps aggregating instead of losing every landed row."""
     return {
-        "n": n,
-        "mean": mean,
-        "std": std,
-        "ci95": 1.96 * std / math.sqrt(n),
-        "min": min(values),
-        "max": max(values),
+        "cell": cell,
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "round": round_no,
+        "ok": False,
+        "duration": None,
+        "slot_count": None,
+        "failed_stage": "worker",
+        "detail": repr(exc),
     }
 
 
@@ -154,6 +185,9 @@ class CellStats:
     failures: int
     deadlines_met_rate: Optional[float]
     metrics: Dict[str, Dict[str, float]]
+    stopped_reason: Optional[str] = None
+    rounds: int = 1
+    saved: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -162,6 +196,9 @@ class CellStats:
             "failures": self.failures,
             "deadlines_met_rate": self.deadlines_met_rate,
             "metrics": self.metrics,
+            "stopped_reason": self.stopped_reason,
+            "rounds": self.rounds,
+            "saved": self.saved,
         }
 
 
@@ -175,16 +212,34 @@ class SweepResult:
     rows: List[Dict[str, Any]]
     cells: List[CellStats]
     results: List[StudyResult] = field(default_factory=list, repr=False)
+    mode: str = "fixed"
+    rounds: int = 1
+    config: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def run_count(self) -> int:
         return len(self.rows)
+
+    @property
+    def replications_spent(self) -> int:
+        """Total replications dispatched (crashed attempts included)."""
+        return len(self.rows)
+
+    @property
+    def replications_saved(self) -> int:
+        """Replications early stopping left unspent vs. the per-cell cap."""
+        return sum(cell.saved for cell in self.cells)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "base_scenario": self.base.to_dict(),
             "executor": self.executor,
             "elapsed": self.elapsed,
+            "mode": self.mode,
+            "rounds": self.rounds,
+            "config": dict(self.config),
+            "replications_spent": self.replications_spent,
+            "replications_saved": self.replications_saved,
             "runs": to_jsonable(self.rows),
             "cells": [cell.to_dict() for cell in self.cells],
         }
@@ -211,18 +266,36 @@ class SweepResult:
                     "-"
                     if cell.deadlines_met_rate is None
                     else f"{cell.deadlines_met_rate:.0%}",
+                    cell.stopped_reason or "-",
                 ]
             )
         table = format_table(
             ["cell", "runs", "failed", "QoC (mean ± CI95)",
-             "worst response [s]", "deadlines met"],
+             "worst response [s]", "deadlines met", "stopped"],
             rows,
         )
         head = (
             f"Sweep of {self.base.name!r}: {self.run_count} runs in "
-            f"{self.elapsed:.1f}s ({self.executor} executor)"
+            f"{self.elapsed:.1f}s ({self.executor} executor, {self.mode} "
+            f"mode, {self.rounds} round{'s' if self.rounds != 1 else ''})"
         )
+        if self.mode == "adaptive" and self.replications_saved:
+            head += (
+                f"\nadaptive stopping saved {self.replications_saved} "
+                f"replications vs. the per-cell cap"
+            )
         return f"{head}\n{table}"
+
+
+def _open_jsonl(jsonl_path: Optional[str]) -> Optional[IO[str]]:
+    """UTF-8 stream with parent directories created on demand, so
+    ``repro sweep -o out/rows.jsonl`` works on a fresh checkout."""
+    if jsonl_path is None:
+        return None
+    path = Path(jsonl_path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    return path.open("w", encoding="utf-8")
 
 
 def run_sweep(
@@ -235,6 +308,11 @@ def run_sweep(
     cache: Optional[DwellCurveCache] = None,
     jsonl_path: Optional[str] = None,
     keep_results: bool = True,
+    ci_target: Optional[float] = None,
+    ci_relative: bool = False,
+    max_replications: Optional[int] = None,
+    budget: Optional[int] = None,
+    round_size: Optional[int] = None,
 ) -> SweepResult:
     """Run a seeded replication grid and aggregate per-cell statistics.
 
@@ -246,23 +324,40 @@ def run_sweep(
         Scenario fields to cross into the grid, e.g.
         ``{"loss_rate": [0.0, 0.05]}``.
     replications:
-        Seeded repeats per cell (seeds ``seed0 .. seed0+n-1``).
+        Fixed mode: seeded repeats per cell (seeds ``seed0..seed0+n-1``).
+        Adaptive mode: the first-round minimum per cell (>= 2).
     executor:
         ``"thread"`` shares one in-process dwell cache (best when
         measurements dominate); ``"process"`` sidesteps the GIL for
         co-simulation-heavy grids and merges worker caches on return.
     max_workers:
-        Pool size; defaults to ``min(runs, cpu_count)``.
+        Pool size; defaults to ``min(first round, cpu_count)``.
     jsonl_path:
         If given, stream one JSON line per finished study (written as
-        results land, so a long sweep is inspectable while running).
+        results land, so a long sweep is inspectable while running;
+        parent directories are created, encoding is UTF-8).
     keep_results:
         Keep the full :class:`StudyResult` objects on the returned
         :class:`SweepResult` (set False for very large sweeps).
+    ci_target:
+        Enable adaptive stopping: a cell stops once the Student-t 95 %
+        half-width of its QoC mean is <= this target (absolute, or a
+        fraction of ``|mean|`` with ``ci_relative``), and its remaining
+        budget is granted to the highest-variance open cells.
+    ci_relative:
+        Interpret ``ci_target`` relative to each cell's ``|mean|``.
+    max_replications:
+        Adaptive per-cell ceiling.
+    budget:
+        Adaptive global replication ceiling across all cells.  Adaptive
+        mode requires ``max_replications`` and/or ``budget``.
+    round_size:
+        Nominal per-cell replications granted per adaptive round
+        (default: ``replications``).
     """
     import os
 
-    runs = expand_sweep(base, axes, replications=replications, seed0=seed0)
+    cells = expand_cells(base, axes)
     if isinstance(base, str):
         from repro.pipeline.registry import get_scenario
 
@@ -270,115 +365,173 @@ def run_sweep(
     else:
         base_scenario = base
     cache = cache if cache is not None else GLOBAL_DWELL_CACHE
-    if max_workers is None:
-        max_workers = min(len(runs), os.cpu_count() or 4)
     if executor not in ("thread", "process"):
         raise ValueError(
             f"unknown executor {executor!r}; expected 'thread' or 'process'"
         )
+    scheduler = AdaptiveScheduler(
+        cells,
+        min_replications=replications,
+        ci_target=ci_target,
+        ci_relative=ci_relative,
+        max_replications=max_replications,
+        budget=budget,
+        step=round_size,
+    )
+    jobs = scheduler.initial_grants()
+    if max_workers is None:
+        max_workers = min(len(jobs), os.cpu_count() or 4)
+    serial = max_workers <= 1 or len(jobs) == 1
+
     started = time.perf_counter()
-    results: List[Optional[StudyResult]] = [None] * len(runs)
-    rows: List[Optional[Dict[str, Any]]] = [None] * len(runs)
-    writer: Optional[IO[str]] = open(jsonl_path, "w") if jsonl_path else None
+    rows: List[Dict[str, Any]] = []
+    results: List[StudyResult] = []
+    writer = _open_jsonl(jsonl_path)
+    pool: Optional[Executor] = None
+    round_no = 0
     try:
-        if max_workers <= 1 or len(runs) == 1:
-            for i, (cell, scenario) in enumerate(runs):
-                result = DesignStudy(scenario, cache=cache).run()
-                _land(i, cell, result, results, rows, writer)
-        elif executor == "process":
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                pending = {
-                    pool.submit(_process_worker, scenario): i
-                    for i, (_, scenario) in enumerate(runs)
-                }
-                while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        i = pending.pop(future)
-                        result, exports = future.result()
-                        cache.merge_entries(exports)
-                        _land(i, runs[i][0], result, results, rows, writer)
-        else:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                pending = {
-                    pool.submit(DesignStudy(scenario, cache=cache).run): i
-                    for i, (_, scenario) in enumerate(runs)
-                }
-                while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        i = pending.pop(future)
-                        _land(i, runs[i][0], future.result(), results, rows, writer)
+        if not serial:
+            pool_cls = (
+                ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+            )
+            pool = pool_cls(max_workers=max_workers)
+        while jobs:
+            prepared = [
+                (cell, _replication_scenario(cell.scenario, seed0, r))
+                for cell, r in jobs
+            ]
+            outcomes = _run_round(
+                prepared, round_no, executor, pool, cache, writer
+            )
+            # Rows fold into the Welford accumulators in job order — a
+            # deterministic order regardless of pool completion order,
+            # so thread/process/serial sweeps agree bit-for-bit.
+            for (cell, _), (row, result) in zip(prepared, outcomes):
+                rows.append(row)
+                cell.record(row)
+                if keep_results and result is not None:
+                    results.append(result)
+            round_no += 1
+            jobs = scheduler.next_grants()
     finally:
+        if pool is not None:
+            pool.shutdown()
         if writer is not None:
             writer.close()
     elapsed = time.perf_counter() - started
 
-    by_cell: Dict[str, List[Dict[str, Any]]] = {}
-    for cell, _ in runs:
-        by_cell.setdefault(cell, [])
-    for row in rows:
-        assert row is not None
-        by_cell[row["cell"]].append(row)
-    cells = []
-    for name, cell_rows in by_cell.items():
-        metrics: Dict[str, Dict[str, float]] = {}
-        for metric in METRICS:
-            values = [
-                row[metric]
-                for row in cell_rows
-                if row.get(metric) is not None
-            ]
-            if values:
-                metrics[metric] = _aggregate([float(v) for v in values])
-        met = [
-            row["all_deadlines_met"]
-            for row in cell_rows
-            if "all_deadlines_met" in row
-        ]
-        cells.append(
-            CellStats(
-                name=name,
-                runs=len(cell_rows),
-                failures=sum(1 for row in cell_rows if not row["ok"]),
-                deadlines_met_rate=(
-                    sum(met) / len(met) if met else None
-                ),
-                metrics=metrics,
-            )
+    cell_stats = [
+        CellStats(
+            name=state.name,
+            runs=state.attempts,
+            failures=state.failures,
+            deadlines_met_rate=state.deadlines_met_rate(),
+            metrics={
+                metric: acc.to_dict()
+                for metric, acc in state.stats.items()
+                if acc.n > 0
+            },
+            stopped_reason=state.stopped_reason,
+            rounds=state.rounds,
+            saved=scheduler.saved(state),
         )
-    final_results = [r for r in results if r is not None] if keep_results else []
+        for state in scheduler.cells
+    ]
     return SweepResult(
         base=base_scenario,
-        executor=executor if max_workers > 1 and len(runs) > 1 else "serial",
+        executor="serial" if serial else executor,
         elapsed=elapsed,
-        rows=[row for row in rows if row is not None],
-        cells=cells,
-        results=final_results,
+        rows=rows,
+        cells=cell_stats,
+        results=results,
+        mode="adaptive" if scheduler.adaptive else "fixed",
+        rounds=round_no,
+        config=scheduler.config(),
     )
 
 
-def _land(
-    index: int,
-    cell: str,
-    result: StudyResult,
-    results: List[Optional[StudyResult]],
-    rows: List[Optional[Dict[str, Any]]],
+def _run_round(
+    prepared: List[Tuple[CellState, Scenario]],
+    round_no: int,
+    executor: str,
+    pool: Optional[Executor],
+    cache: DwellCurveCache,
     writer: Optional[IO[str]],
-) -> None:
-    """Record one finished study; stream its JSONL row immediately."""
-    results[index] = result
-    row = _study_row(cell, result)
-    rows[index] = row
-    if writer is not None:
-        writer.write(json.dumps(to_jsonable(row)) + "\n")
-        writer.flush()
+) -> List[Optional[Tuple[Dict[str, Any], Optional[StudyResult]]]]:
+    """Execute one dispatch round; returns ``(row, result)`` in job order.
+
+    Rows are streamed to ``writer`` the moment each study lands
+    (completion order), while the returned list preserves job order for
+    deterministic aggregation.  A replication that raises — in a worker
+    process, a thread, or inline — becomes a synthetic failed row
+    (``failed_stage="worker"``) rather than aborting the round.
+    """
+    outcomes: List[Optional[Tuple[Dict[str, Any], Optional[StudyResult]]]] = [
+        None
+    ] * len(prepared)
+
+    def land(index: int, result: Optional[StudyResult], exc: Optional[BaseException]):
+        cell, scenario = prepared[index]
+        if exc is not None:
+            row = _crash_row(cell.name, scenario, round_no, exc)
+            outcomes[index] = (row, None)
+        else:
+            assert result is not None
+            row = _study_row(cell.name, result, round_no)
+            outcomes[index] = (row, result)
+        if writer is not None:
+            writer.write(json.dumps(to_jsonable(row)) + "\n")
+            writer.flush()
+
+    if pool is None:
+        for index, (_, scenario) in enumerate(prepared):
+            try:
+                result = DesignStudy(scenario, cache=cache).run()
+            except Exception as exc:  # crash-proof: record, keep sweeping
+                land(index, None, exc)
+            else:
+                land(index, result, None)
+        return outcomes
+
+    if executor == "process":
+        pending = {
+            pool.submit(_process_worker, scenario): index
+            for index, (_, scenario) in enumerate(prepared)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    result, exports = future.result()
+                except Exception as exc:  # worker died mid-replication
+                    land(index, None, exc)
+                else:
+                    cache.merge_entries(exports)
+                    land(index, result, None)
+    else:
+        pending = {
+            pool.submit(DesignStudy(scenario, cache=cache).run): index
+            for index, (_, scenario) in enumerate(prepared)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    land(index, None, exc)
+                else:
+                    land(index, result, None)
+    return outcomes
 
 
 __all__ = [
     "CellStats",
     "METRICS",
     "SweepResult",
+    "expand_cells",
     "expand_sweep",
     "run_sweep",
 ]

@@ -16,6 +16,7 @@ from repro.sim.cosim import (
 )
 from repro.sim.events import EventQueue
 from repro.sim.runtime import CommState, DisturbanceRecord, SwitchingRuntime
+from repro.sim.stats import Welford, t_critical_95
 from repro.sim.stepper import (
     GLOBAL_ZOH_CACHE,
     DelayedStepper,
@@ -51,6 +52,8 @@ __all__ = [
     "Submission",
     "SwitchingRuntime",
     "TTSlotArbiter",
+    "Welford",
     "ZOHCache",
     "simple_application_tasks",
+    "t_critical_95",
 ]

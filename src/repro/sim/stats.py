@@ -1,0 +1,118 @@
+"""Streaming sample statistics for Monte-Carlo aggregation.
+
+Replication sweeps used to re-scan every stored row to compute a cell's
+mean/std/CI; :class:`Welford` maintains the same numbers incrementally
+(Welford's online algorithm), so aggregation cost is O(1) per landed
+replication no matter how large the sweep grows, and the adaptive
+scheduler can read an up-to-date confidence interval between rounds
+without touching the row log.
+
+Confidence half-widths use Student-t critical values instead of the
+normal z = 1.96: at the small sample sizes where sequential stopping
+rules actually look (n = 2..10), the normal approximation understates
+the 95 % interval by up to a factor of 6.5 (t(1) = 12.706), which would
+make the stopping rule fire long before the estimate deserved it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom.
+#: Above the table the distribution is effectively normal; between
+#: entries (df > 30) the next *lower* tabulated df is used, which
+#: rounds the critical value up — conservative for stopping rules.
+_T95: Dict[int, float] = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 50: 2.009, 60: 2.000, 80: 1.990, 100: 1.984,
+    120: 1.980,
+}
+_T95_STEPS = sorted(_T95)
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df in _T95:
+        return _T95[df]
+    if df > _T95_STEPS[-1]:
+        return 1.960
+    # df > 30 between table rows: fall back to the next lower entry.
+    below = max(step for step in _T95_STEPS if step <= df)
+    return _T95[below]
+
+
+class Welford:
+    """Single-pass mean/variance accumulator (Welford's algorithm).
+
+    Tracks count, mean, M2 (sum of squared deviations), and extremes;
+    :meth:`ci95` yields the Student-t 95 % confidence half-width of the
+    mean.  Numerically stable for the long replication streams adaptive
+    sweeps produce, and O(1) memory regardless of stream length.
+    """
+
+    __slots__ = ("n", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n - 1 denominator); 0.0 below two samples."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def ci95(self) -> float:
+        """95 % confidence half-width of the mean (Student-t).
+
+        0.0 below two samples — with one observation the interval is
+        undefined, and callers (the stopping rule) must gate on ``n``
+        before trusting it.
+        """
+        if self.n < 2:
+            return 0.0
+        return t_critical_95(self.n - 1) * self.std / math.sqrt(self.n)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The sweep-aggregation record: n / mean / std / ci95 / min / max."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "ci95": self.ci95(),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Welford(n={self.n}, mean={self.mean:.6g}, std={self.std:.6g})"
+
+
+__all__ = ["Welford", "t_critical_95"]

@@ -181,6 +181,37 @@ class TestSweepCommand:
         assert main(["sweep", "--scenario", "no-such"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_adaptive_sweep_runs_and_reports(self, capsys):
+        argv = self.SWEEP_ARGS + [
+            "--ci-target", "0.2", "--ci-relative",
+            "--max-replications", "6",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "adaptive mode" in out and "stopped" in out
+
+    def test_adaptive_sweep_json_carries_provenance(self, capsys):
+        argv = self.SWEEP_ARGS + [
+            "--ci-target", "0.2", "--ci-relative",
+            "--max-replications", "6", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "adaptive"
+        assert payload["config"]["ci_target"] == 0.2
+        assert all("stopped_reason" in cell for cell in payload["cells"])
+        assert all("round" in run for run in payload["runs"])
+
+    def test_adaptive_sweep_without_cap_is_clean_error(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--ci-target", "0.2"]) == 2
+        captured = capsys.readouterr()
+        assert "max_replications" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_ci_relative_without_target_is_clean_error(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--ci-relative"]) == 2
+        assert "ci_relative" in capsys.readouterr().err
+
 
 class TestStudySeed:
     def test_seed_threads_into_cosim_artifact(self, capsys):

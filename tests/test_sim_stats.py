@@ -1,0 +1,80 @@
+"""Tests for the streaming statistics helpers (repro.sim.stats)."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.stats import Welford, t_critical_95
+
+
+class TestTCritical:
+    def test_exact_table_entries(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(2) == pytest.approx(4.303)
+        assert t_critical_95(10) == pytest.approx(2.228)
+        assert t_critical_95(30) == pytest.approx(2.042)
+
+    def test_between_rows_rounds_conservatively(self):
+        # 45 df falls between the 40 and 50 rows; the smaller df's
+        # (larger) critical value is the safe choice for stopping rules.
+        assert t_critical_95(45) == t_critical_95(40)
+
+    def test_large_df_approaches_normal(self):
+        assert t_critical_95(10_000) == pytest.approx(1.960)
+
+    def test_monotone_decreasing(self):
+        values = [t_critical_95(df) for df in range(1, 200)]
+        assert values == sorted(values, reverse=True)
+        assert all(v >= 1.960 for v in values)
+
+    def test_invalid_df_rejected(self):
+        with pytest.raises(ValueError, match="degrees of freedom"):
+            t_critical_95(0)
+
+
+class TestWelford:
+    def test_matches_two_pass_statistics(self):
+        rng = random.Random(7)
+        values = [rng.gauss(3.0, 2.5) for _ in range(500)]
+        acc = Welford()
+        for v in values:
+            acc.push(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert acc.n == 500
+        assert acc.mean == pytest.approx(mean)
+        assert acc.variance == pytest.approx(var)
+        assert acc.minimum == min(values)
+        assert acc.maximum == max(values)
+
+    def test_ci95_uses_student_t(self):
+        acc = Welford()
+        for v in (1.0, 2.0, 4.0):
+            acc.push(v)
+        expected = t_critical_95(2) * acc.std / math.sqrt(3)
+        assert acc.ci95() == pytest.approx(expected)
+
+    def test_degenerate_sizes(self):
+        acc = Welford()
+        assert acc.variance == 0.0 and acc.ci95() == 0.0
+        acc.push(5.0)
+        assert acc.n == 1
+        assert acc.std == 0.0
+        assert acc.ci95() == 0.0  # undefined below two samples
+        assert acc.minimum == acc.maximum == 5.0
+
+    def test_constant_stream_has_zero_width(self):
+        acc = Welford()
+        for _ in range(10):
+            acc.push(1.25)
+        assert acc.std == 0.0
+        assert acc.ci95() == 0.0
+
+    def test_to_dict_shape(self):
+        acc = Welford()
+        for v in (1.0, 3.0):
+            acc.push(v)
+        record = acc.to_dict()
+        assert set(record) == {"n", "mean", "std", "ci95", "min", "max"}
+        assert record["n"] == 2 and record["mean"] == 2.0

@@ -10,7 +10,9 @@ from repro.pipeline import (
     run_many,
     run_sweep,
 )
-from repro.pipeline.sweep import expand_sweep
+from repro.pipeline.runner import DesignStudy
+from repro.pipeline.sweep import expand_cells, expand_sweep
+from repro.sim.stats import t_critical_95
 
 #: Cheap co-sim base for every test: two-plant multirate roster subset,
 #: short horizon, deterministic analytic network.  (The stride must stay
@@ -88,8 +90,11 @@ class TestRunSweep:
         assert qoc["n"] == 3
         assert qoc["min"] <= qoc["mean"] <= qoc["max"]
         assert qoc["std"] > 0  # sporadic seeds genuinely differ
-        assert qoc["ci95"] == pytest.approx(1.96 * qoc["std"] / 3**0.5)
+        # Student-t half-width: at n=3 the normal z=1.96 would
+        # understate the interval by more than a factor of two.
+        assert qoc["ci95"] == pytest.approx(t_critical_95(2) * qoc["std"] / 3**0.5)
         assert cell.deadlines_met_rate is not None
+        assert cell.stopped_reason == "fixed"
 
     def test_jsonl_streaming(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
@@ -161,6 +166,130 @@ class TestRunSweep:
         text = json.dumps(result.to_dict())
         assert "sweep-base" in text
         assert "report" not in text  # only data, no rendered strings
+
+
+def _crash_on_seed(monkeypatch, crash_seed):
+    """Patch ``DesignStudy.run`` to raise for one replication seed.
+
+    A RuntimeError is *not* one of the domain errors the stage runner
+    converts into a failed StudyResult — it used to propagate out of
+    ``future.result()`` and abort the whole sweep."""
+    real_run = DesignStudy.run
+
+    def run(self):
+        if self.scenario.seed == crash_seed:
+            raise RuntimeError("injected crash")
+        return real_run(self)
+
+    monkeypatch.setattr(DesignStudy, "run", run)
+
+
+class TestCrashProofReplication:
+    def test_serial_crash_becomes_worker_row(self, monkeypatch):
+        _crash_on_seed(monkeypatch, crash_seed=1)
+        result = run_sweep(
+            cheap_base(disturbance="sporadic", horizon=6.0),
+            replications=3,
+            max_workers=1,
+            cache=DwellCurveCache(),
+        )
+        assert result.run_count == 3  # the crash lost no landed rows
+        (cell,) = result.cells
+        assert cell.runs == 3 and cell.failures == 1
+        crashed = [row for row in result.rows if not row["ok"]]
+        assert len(crashed) == 1
+        assert crashed[0]["failed_stage"] == "worker"
+        assert "RuntimeError" in crashed[0]["detail"]
+        assert crashed[0]["seed"] == 1
+        # the two healthy replications still aggregate, and the crash
+        # contributes no synthetic values to any metric (duration incl.)
+        assert cell.metrics["qoc"]["n"] == 2
+        assert cell.metrics["duration"]["n"] == 2
+        assert cell.metrics["duration"]["min"] > 0.0
+
+    def test_thread_pool_crash_keeps_every_cell(self, monkeypatch):
+        _crash_on_seed(monkeypatch, crash_seed=0)
+        result = run_sweep(
+            cheap_base(),
+            axes={"loss_rate": [0.0, 0.05]},
+            replications=2,
+            max_workers=2,
+            cache=DwellCurveCache(),
+        )
+        assert result.run_count == 4
+        assert {cell.failures for cell in result.cells} == {1}
+        for cell in result.cells:
+            assert cell.runs == 2
+            assert cell.metrics["qoc"]["n"] == 1
+
+    def test_crash_row_is_streamed_to_jsonl(self, monkeypatch, tmp_path):
+        _crash_on_seed(monkeypatch, crash_seed=0)
+        path = tmp_path / "rows.jsonl"
+        run_sweep(
+            cheap_base(),
+            replications=2,
+            max_workers=1,
+            cache=DwellCurveCache(),
+            jsonl_path=str(path),
+        )
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 2
+        bad = next(row for row in rows if not row["ok"])
+        assert bad["failed_stage"] == "worker"
+
+
+class TestJsonlPathHandling:
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "out" / "deep" / "rows.jsonl"
+        run_sweep(
+            cheap_base(),
+            replications=1,
+            max_workers=1,
+            cache=DwellCurveCache(),
+            jsonl_path=str(path),
+        )
+        assert path.exists()
+
+    def test_stream_is_utf8(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        run_sweep(
+            cheap_base(),
+            replications=1,
+            max_workers=1,
+            cache=DwellCurveCache(),
+            jsonl_path=str(path),
+        )
+        # decodes as UTF-8 regardless of platform default encoding
+        rows = path.read_bytes().decode("utf-8").strip().splitlines()
+        assert json.loads(rows[0])["round"] == 0
+
+
+class TestKeepResults:
+    def test_keep_results_false_still_aggregates(self):
+        result = run_sweep(
+            cheap_base(),
+            replications=2,
+            max_workers=1,
+            cache=DwellCurveCache(),
+            keep_results=False,
+        )
+        assert result.results == []
+        assert result.run_count == 2
+        assert result.cells[0].metrics["qoc"]["n"] == 2
+
+    def test_rows_carry_round_field(self):
+        result = run_sweep(
+            cheap_base(), replications=2, max_workers=1, cache=DwellCurveCache()
+        )
+        assert all(row["round"] == 0 for row in result.rows)
+
+
+class TestExpandCells:
+    def test_cells_are_seed_free(self):
+        cells = expand_cells(cheap_base(), axes={"loss_rate": [0.0, 0.1]})
+        assert len(cells) == 2
+        assert all(s.seed == 0 for _, s in cells)
+        assert "#seed" not in cells[0][0]
 
 
 class TestRunManyProcess:
