@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Diff freshly measured BENCH_*.json artifacts against committed ones.
+
+CI's smoke job regenerates the benchmark artifacts on every run; this
+script compares them with the versions committed at a git reference
+(``HEAD`` by default) and prints a regression table of every numeric
+metric that moved, so the BENCH trajectory is visible in the job log
+without downloading artifacts:
+
+    python benchmarks/compare_bench.py            # diff vs HEAD
+    python benchmarks/compare_bench.py --ref v1.0 # diff vs a tag
+    python benchmarks/compare_bench.py BENCH_cosim.json  # one file only
+
+The report is informational — CI wires it in as a non-blocking step
+(timings on shared runners are noisy; the *blocking* bars live in the
+benchmark tests themselves).  Exit status is 0 unless ``--fail-above``
+is given, in which case any metric whose relative change exceeds the
+threshold in the bad direction fails the run (metrics matching a
+``HIGHER_IS_BETTER`` substring regress downward; everything else —
+timings, counts — regresses upward).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Keys that are measurement noise or metadata, never a regression.
+IGNORED_LEAVES = {"generated_unix", "cpu_count", "workers", "smoke"}
+
+#: Substrings marking metrics where *larger* is better (speedups,
+#: cache effectiveness, savings, throughput); everything else numeric —
+#: timings, counts, ratios-to-a-baseline — is treated as
+#: lower-is-better when deciding the regression flag.
+HIGHER_IS_BETTER = (
+    "speedup",
+    "hit_rate",
+    "hits",
+    "deadlines_met",
+    "saved",
+    "savings",
+    "per_second",
+)
+
+
+def flatten(node, prefix="") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in IGNORED_LEAVES:
+                continue
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{index}.")
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield prefix.rstrip("."), float(node)
+
+
+def committed_version(path: Path, ref: str) -> Dict:
+    """The artifact as committed at ``ref`` (None when not present)."""
+    try:
+        relative = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        # e.g. a downloaded CI artifact outside the checkout: compare it
+        # against the committed file of the same name at the repo root.
+        relative = path.name
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{relative}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def is_regression(path: str, delta_pct: float) -> bool:
+    """Whether the change moved in the bad direction for this metric."""
+    lower = path.lower()
+    if any(tag in lower for tag in HIGHER_IS_BETTER):
+        return delta_pct < 0
+    return delta_pct > 0
+
+
+def compare_file(path: Path, ref: str, threshold: float):
+    """Print one artifact's diff table; returns the regression count
+    above ``threshold`` (None-safe on missing baselines)."""
+    current = json.loads(path.read_text())
+    baseline = committed_version(path, ref)
+    print(f"\n== {path.name} (vs {ref}) ==")
+    if baseline is None:
+        print(f"  no committed baseline at {ref} — nothing to diff")
+        return 0
+    old = dict(flatten(baseline))
+    new = dict(flatten(current))
+    rows = []
+    for key in sorted(set(old) | set(new)):
+        if key not in old:
+            rows.append((key, None, new[key], None))
+            continue
+        if key not in new:
+            rows.append((key, old[key], None, None))
+            continue
+        if old[key] == new[key]:
+            continue
+        base = abs(old[key]) if old[key] else 1.0
+        rows.append((key, old[key], new[key], 100.0 * (new[key] - old[key]) / base))
+    if not rows:
+        print("  no numeric changes")
+        return 0
+    width = max(len(r[0]) for r in rows)
+    failures = 0
+    print(f"  {'metric'.ljust(width)}  {'committed':>12}  {'current':>12}  {'change':>9}")
+    for key, old_v, new_v, delta in rows:
+        old_s = "-" if old_v is None else f"{old_v:g}"
+        new_s = "-" if new_v is None else f"{new_v:g}"
+        if delta is None:
+            delta_s, flag = "new/gone", ""
+        else:
+            worse = is_regression(key, delta)
+            flag = ""
+            if worse and abs(delta) > 10.0:
+                flag = "  !"
+            if worse and threshold is not None and abs(delta) > threshold:
+                flag = "  !!"
+                failures += 1
+            delta_s = f"{delta:+.1f}%"
+        print(f"  {key.ljust(width)}  {old_s:>12}  {new_s:>12}  {delta_s:>9}{flag}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="artifacts to diff (default: every BENCH_*.json at the repo root)",
+    )
+    parser.add_argument(
+        "--ref", default="HEAD", help="git reference holding the baseline"
+    )
+    parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero when a metric regresses by more than PCT percent",
+    )
+    args = parser.parse_args(argv)
+    if args.files:
+        paths = [Path(f).resolve() for f in args.files]
+    else:
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found")
+        return 0
+    failures = 0
+    for path in paths:
+        if not path.exists():
+            print(f"\n== {path.name} == missing on disk, skipped")
+            continue
+        failures += compare_file(path, args.ref, args.fail_above)
+    if failures and args.fail_above is not None:
+        print(f"\n{failures} metric(s) regressed beyond {args.fail_above:g}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,15 @@
-"""Benchmark — exact allocation at scale (ISSUE 2 satellite).
+"""Benchmark — exact allocation at scale (ISSUE 2 satellite; ISSUE 5
+promotes it from a pass/fail test to a committed ``BENCH_alloc.json``
+artifact).
 
 Compares the exhaustive set-partition search against the pruned
 branch-and-bound backend on synthetic fleets of 8/12/16/20 applications
-and records the feasibility cache's effectiveness (hit rate, memoized
-entries, search nodes) in each benchmark's ``extra_info``.
+and records, per fleet size, the solve wall-clock, the slot count, the
+search-node count and the feasibility cache's effectiveness.  The
+numbers land both in each pytest-benchmark ``extra_info`` and in
+``BENCH_alloc.json`` at the repository root, which CI's smoke job
+uploads alongside the co-simulation and sweep artifacts so the
+allocation trajectory is trackable across commits.
 
 The exhaustive enumeration is Bell-number-bounded and only runs at
 n=8; branch-and-bound must prove the same optimum there and keep
@@ -14,9 +20,11 @@ the fleet size, and run with ``--benchmark-disable`` so every case
 executes exactly once as a plain regression test.
 """
 
+import json
 import os
 import random
 import time
+from pathlib import Path
 
 import pytest
 
@@ -26,6 +34,11 @@ from repro.solvers import allocate
 
 _SMOKE_MAX = int(os.environ.get("REPRO_SCALE_BENCH_MAX", "20"))
 SIZES = [n for n in (8, 12, 16, 20) if n <= _SMOKE_MAX]
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_alloc.json"
+
+#: Accumulated per-size rows, flushed to BENCH_alloc.json as they land
+#: (so a smoke run capped at n=12 still writes an honest partial file).
+_ROWS = {}
 
 
 def synthetic_fleet(n, seed=7):
@@ -57,22 +70,43 @@ def synthetic_fleet(n, seed=7):
     return make_analyzed(roster, "non-monotonic")
 
 
+def _flush_artifact():
+    payload = {
+        "benchmark": "allocation-scale",
+        "smoke": _SMOKE_MAX < 20,
+        "max_fleet_size": max(SIZES),
+        "sizes": [_ROWS[n] for n in sorted(_ROWS)],
+        "generated_unix": round(time.time(), 1),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 @pytest.mark.parametrize("n", SIZES)
 def test_bench_branch_and_bound_scale(benchmark, n):
     apps = synthetic_fleet(n)
+    started = time.perf_counter()
     result = benchmark.pedantic(
         lambda: allocate("branch-and-bound", apps), rounds=1, iterations=1
     )
+    elapsed = time.perf_counter() - started
     stats = result.stats
+    cache = stats["feasibility_cache"]
     benchmark.extra_info["n_apps"] = n
     benchmark.extra_info["slot_count"] = result.slot_count
     benchmark.extra_info["search_nodes"] = stats["nodes"]
-    benchmark.extra_info["cache_hit_rate"] = round(
-        stats["feasibility_cache"]["hit_rate"], 4
-    )
-    benchmark.extra_info["cache_entries"] = stats["feasibility_cache"]["entries"]
+    benchmark.extra_info["cache_hit_rate"] = round(cache["hit_rate"], 4)
+    benchmark.extra_info["cache_entries"] = cache["entries"]
     assert result.all_schedulable()
     assert result.slot_count <= allocate("first-fit", apps).slot_count
+    _ROWS[n] = {
+        "n_apps": n,
+        "solve_seconds": round(elapsed, 4),
+        "slot_count": result.slot_count,
+        "search_nodes": stats["nodes"],
+        "cache_hit_rate": round(cache["hit_rate"], 4),
+        "cache_entries": cache["entries"],
+    }
+    _flush_artifact()
 
 
 def test_bench_exhaustive_optimum_at_8(benchmark):
@@ -102,3 +136,14 @@ def test_twenty_app_exact_solve_under_five_seconds():
         f"{result.slot_count} slots, {result.stats['nodes']} nodes, "
         f"cache hit rate {cache['hit_rate']:.1%} ({cache['entries']} entries)"
     )
+
+
+def test_bench_alloc_json_is_valid():
+    """The artifact exists (this run or a committed one) and parses."""
+    assert OUTPUT.exists(), "BENCH_alloc.json missing; run the scale bench first"
+    payload = json.loads(OUTPUT.read_text())
+    assert payload["benchmark"] == "allocation-scale"
+    assert payload["sizes"], "no fleet sizes recorded"
+    for row in payload["sizes"]:
+        assert row["solve_seconds"] >= 0
+        assert row["slot_count"] >= 1

@@ -1,16 +1,21 @@
-"""Benchmark — co-simulation throughput (ISSUE 3 tentpole).
+"""Benchmark — co-simulation throughput (ISSUE 3 tentpole, ISSUE 5 kernels).
 
 Times a 32-scenario Monte-Carlo co-simulation grid (the Figure 5 fleet,
 sporadic disturbances, FlexRay frame loss, seeds 0..31) through
-``run_many`` with thread workers vs a process pool, plus the event vs
-legacy kernel on one scenario, and writes the numbers to
-``BENCH_cosim.json`` at the repository root.
+``run_many`` with thread workers vs a process pool, plus a **three-way
+kernel shoot-out** (legacy fixed-step loop / event kernel / batched
+analytic fast path) on the fig5 analytic scenario, and writes the
+numbers to ``BENCH_cosim.json`` at the repository root.
 
 The co-simulation loop is pure Python, so thread workers serialize on
 the GIL; the process pool is the scaling path.  The ``>= 2x`` speedup
 acceptance bar is asserted only where it is physically possible
 (``cpu_count >= 4``) — the JSON records the honest measurement either
-way, including the core count it was taken on.
+way, including the core count it was taken on.  The kernel bars
+(event/legacy ratio ``<= 1.05``, batch speedup ``>= 3x`` over legacy)
+are asserted outside smoke mode, where horizons are long enough for the
+ratios to mean something; the traces-bitwise-identical cross-check runs
+in every mode.
 
 Smoke mode for CI: set ``REPRO_COSIM_BENCH_SMOKE=1`` to shrink the grid
 and horizon so the job finishes in seconds while still exercising both
@@ -69,7 +74,9 @@ def test_bench_cosim_grid_thread_vs_process():
     process_qoc = [r.artifact("cosim")["qoc"] for r in process_results]
     assert thread_qoc == process_qoc
 
-    kernels = run_kernel_ablation(wait_step=WAIT_STEP, horizon=HORIZON)
+    kernels = run_kernel_ablation(
+        wait_step=WAIT_STEP, horizon=HORIZON, repeats=1 if _SMOKE else 3
+    )
     assert kernels.traces_identical
 
     speedup = thread_seconds / process_seconds if process_seconds else float("inf")
@@ -90,8 +97,11 @@ def test_bench_cosim_grid_thread_vs_process():
         },
         "kernel": {
             "scenario": kernels.scenario,
-            "event_cosim_seconds": round(kernels.event_seconds, 3),
-            "legacy_cosim_seconds": round(kernels.legacy_seconds, 3),
+            "batch_cosim_seconds": round(kernels.batch_seconds, 4),
+            "event_cosim_seconds": round(kernels.event_seconds, 4),
+            "legacy_cosim_seconds": round(kernels.legacy_seconds, 4),
+            "event_over_legacy_ratio": round(kernels.event_over_legacy, 3),
+            "batch_speedup_vs_legacy": round(kernels.batch_speedup_vs_legacy, 3),
             "traces_bitwise_identical": kernels.traces_identical,
             "samples": kernels.samples,
         },
@@ -111,6 +121,18 @@ def test_bench_cosim_grid_thread_vs_process():
             f"process pool speedup {speedup:.2f}x below the 2x bar "
             f"on {os.cpu_count()} cores"
         )
+    # ISSUE 5 kernel bars: the event kernel must be at parity with the
+    # legacy loop, and the batch fast path at least 3x faster than it.
+    # Smoke horizons are milliseconds of work — too noisy to assert on.
+    if not _SMOKE:
+        assert kernels.event_over_legacy <= 1.05, (
+            f"event kernel at {kernels.event_over_legacy:.2f}x of legacy, "
+            "above the 1.05 parity bar"
+        )
+        assert kernels.batch_speedup_vs_legacy >= 3.0, (
+            f"batch kernel only {kernels.batch_speedup_vs_legacy:.2f}x "
+            "faster than legacy, below the 3x bar"
+        )
 
 
 def test_bench_cosim_json_is_valid():
@@ -119,5 +141,10 @@ def test_bench_cosim_json_is_valid():
     payload = json.loads(OUTPUT.read_text())
     assert payload["benchmark"] == "cosim-throughput"
     assert payload["grid_size"] >= 4
-    assert payload["kernel"]["traces_bitwise_identical"] is True
+    kernel = payload["kernel"]
+    assert kernel["traces_bitwise_identical"] is True
+    assert {"batch_cosim_seconds", "event_cosim_seconds", "legacy_cosim_seconds"} \
+        <= set(kernel)
+    assert kernel["batch_speedup_vs_legacy"] > 0
+    assert kernel["event_over_legacy_ratio"] > 0
     assert payload["speedup_process_vs_thread"] > 0

@@ -48,6 +48,7 @@ from repro.experiments import (
     run_threshold_sweep,
 )
 from repro.experiments.reporting import format_table
+from repro.pipeline.scenario import KERNELS
 from repro.pipeline.serialize import to_jsonable
 
 # Each command handler returns ``(text, data)``: the classic ASCII report
@@ -94,7 +95,11 @@ def _cmd_allocation(args):
 
 
 def _cmd_fig5(args):
-    result = run_fig5(use_flexray=not args.analytic, wait_step=_wait_step(args))
+    result = run_fig5(
+        use_flexray=not args.analytic,
+        wait_step=_wait_step(args),
+        kernel=getattr(args, "kernel", "auto"),
+    )
     data = {
         "slot_names": result.slot_names,
         "all_deadlines_met": result.all_deadlines_met(),
@@ -358,6 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig5 = sub.add_parser("fig5", parents=[common], help="Figure 5 co-simulation")
     p_fig5.add_argument("--plots", action="store_true")
     p_fig5.add_argument("--analytic", action="store_true")
+    p_fig5.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help=(
+            "co-simulation kernel (auto = batched analytic fast path "
+            "when eligible; traces are identical across kernels)"
+        ),
+    )
 
     p_abl = sub.add_parser("ablations", parents=[common], help="E6-E8 ablations")
     p_abl.add_argument(

@@ -383,30 +383,56 @@ def run_qoc_ablation(
 
 @dataclass(frozen=True)
 class KernelAblationResult:
-    """Cross-check of the two co-simulation kernels on one scenario.
+    """Cross-check of the three co-simulation kernels on one scenario.
 
-    On shared-period fleets the kernels are bitwise-equivalent by
-    construction; this ablation re-verifies that on the full Figure 5
-    roster and reports each kernel's co-simulation wall-clock.
+    On analytic shared-period fleets all kernels are bitwise-equivalent
+    by construction; this ablation re-verifies that on the full
+    Figure 5 roster and reports each kernel's co-simulation wall-clock
+    (best of ``repeats`` runs, so warm-cache timings are compared).
     """
 
     scenario: str
     event_seconds: float
     legacy_seconds: float
+    batch_seconds: float
     traces_identical: bool
     samples: int
     apps: int
 
+    @property
+    def event_over_legacy(self) -> float:
+        """Event-kernel wall-clock relative to legacy (<= 1 is a win)."""
+        if self.legacy_seconds <= 0:
+            return float("inf") if self.event_seconds > 0 else 1.0
+        return self.event_seconds / self.legacy_seconds
+
+    @property
+    def batch_speedup_vs_legacy(self) -> float:
+        """How many times faster the batch fast path runs than legacy."""
+        if self.batch_seconds <= 0:
+            return float("inf")
+        return self.legacy_seconds / self.batch_seconds
+
+    @property
+    def event_speedup_vs_legacy(self) -> float:
+        """How many times faster the event kernel runs than legacy."""
+        if self.event_seconds <= 0:
+            return float("inf")
+        return self.legacy_seconds / self.event_seconds
+
     def report(self) -> str:
         verdict = "bitwise identical" if self.traces_identical else "DIVERGED"
         rows = [
-            ["event", f"{self.event_seconds:.3f}"],
-            ["legacy", f"{self.legacy_seconds:.3f}"],
+            ["batch", f"{self.batch_seconds:.3f}",
+             f"{self.batch_speedup_vs_legacy:.2f}x"],
+            ["event", f"{self.event_seconds:.3f}",
+             f"{self.event_speedup_vs_legacy:.2f}x"],
+            ["legacy", f"{self.legacy_seconds:.3f}", "1.00x"],
         ]
         return (
             f"Co-simulation kernel ablation ({self.scenario}; "
             f"{self.apps} apps, {self.samples} samples)\n"
-            + format_table(["kernel", "cosim stage [s]"], rows)
+            + format_table(["kernel", "cosim stage [s]", "vs legacy"], rows)
             + f"\ntraces: {verdict}"
         )
 
@@ -425,31 +451,45 @@ def traces_bitwise_equal(a, b) -> bool:
 
 
 def run_kernel_ablation(
-    wait_step: int = 2, horizon: Optional[float] = None
+    wait_step: int = 2, horizon: Optional[float] = None, repeats: int = 1
 ) -> KernelAblationResult:
-    """E12: the event kernel must reproduce the legacy kernel exactly."""
+    """E12: event and batch kernels must reproduce legacy exactly.
+
+    ``repeats`` re-runs each kernel and keeps the fastest co-simulation
+    stage (the first pass pays process-wide cache warm-up; benchmarks
+    that publish ratios should pass ``repeats>=3``).
+    """
     from repro.pipeline import DesignStudy, get_scenario
 
     base = get_scenario("fig5-cosim-analytic").derive(
         wait_step=wait_step, horizon=horizon
     )
     runs = {}
-    for kernel in ("event", "legacy"):
-        study = (
-            DesignStudy(base.derive(name=f"{base.name}@{kernel}", kernel=kernel))
-            .run()
-            .raise_for_failure()
-        )
+    seconds = {}
+    for kernel in ("legacy", "event", "batch"):
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            study = (
+                DesignStudy(base.derive(name=f"{base.name}@{kernel}", kernel=kernel))
+                .run()
+                .raise_for_failure()
+            )
+            best = min(best, study.stage("cosim").elapsed)
         runs[kernel] = study
-    event_trace = runs["event"].attachments.trace
+        seconds[kernel] = best
     legacy_trace = runs["legacy"].attachments.trace
+    identical = all(
+        traces_bitwise_equal(runs[kernel].attachments.trace, legacy_trace)
+        for kernel in ("event", "batch")
+    )
     return KernelAblationResult(
         scenario=base.name,
-        event_seconds=runs["event"].stage("cosim").elapsed,
-        legacy_seconds=runs["legacy"].stage("cosim").elapsed,
-        traces_identical=traces_bitwise_equal(event_trace, legacy_trace),
-        samples=sum(len(t.times) for t in event_trace.apps.values()),
-        apps=len(event_trace.apps),
+        event_seconds=seconds["event"],
+        legacy_seconds=seconds["legacy"],
+        batch_seconds=seconds["batch"],
+        traces_identical=identical,
+        samples=sum(len(t.times) for t in legacy_trace.apps.values()),
+        apps=len(legacy_trace.apps),
     )
 
 

@@ -72,7 +72,7 @@ def run_fig5(
     horizon: Optional[float] = None,
     use_flexray: bool = True,
     wait_step: int = 2,
-    kernel: str = "event",
+    kernel: str = "auto",
 ) -> Fig5Result:
     """Run the Figure 5 co-simulation.
 
@@ -89,8 +89,10 @@ def run_fig5(
         ``True`` runs over the cycle-accurate bus; ``False`` uses the
         analytic worst-case network (faster, deterministic).
     kernel:
-        Co-simulation kernel (``"event"`` or ``"legacy"``; traces are
-        bitwise identical on this shared-period roster).
+        Co-simulation kernel (``"auto"``, ``"batch"``, ``"event"`` or
+        ``"legacy"``; traces are bitwise identical on this
+        shared-period roster, so the default lets eligible runs take
+        the batched fast path).
     """
     if applications is None:
         # Default roster: run the whole chain as the fig5 pipeline
@@ -137,7 +139,7 @@ def run_fig5(
         )
     else:
         network = AnalyticNetwork()
-    simulator = CoSimulator(cosim_apps, network, legacy=(kernel == "legacy"))
+    simulator = CoSimulator(cosim_apps, network, kernel=kernel)
     trace = simulator.run(horizon)
     return Fig5Result(trace=trace, slot_names=allocation.slot_names)
 

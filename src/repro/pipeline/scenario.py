@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.flexray.params import FlexRayConfig
+from repro.sim.cosim import KERNELS
 
 #: Where the application set comes from.
 SOURCES = ("paper", "simulation", "multirate", "servo")
@@ -39,8 +40,12 @@ ALLOCATORS = (
 )
 #: Co-simulation network models.
 NETWORKS = ("analytic", "flexray")
-#: Co-simulation kernels (event-driven default, legacy fixed-step loop).
-KERNELS = ("event", "legacy")
+# Co-simulation kernels: KERNELS is re-exported from repro.sim.cosim
+# (imported above) so the accepted names live in one place.  "auto"
+# (default) picks the batched analytic fast path when the fleet is
+# eligible and the event kernel otherwise; all kernels produce
+# bitwise-identical traces on fleets they accept, so the choice is
+# purely about speed and diagnostics.
 #: Disturbance arrival processes for the co-simulation stage.
 DISTURBANCES = ("one-shot", "sporadic")
 
@@ -121,10 +126,13 @@ class Scenario:
         Co-simulation length in seconds; ``None`` derives
         1.2x the largest deadline.
     kernel:
-        Co-simulation kernel: ``"event"`` (default; multi-rate capable)
+        Co-simulation kernel: ``"auto"`` (default; the batched analytic
+        fast path when eligible, the event kernel otherwise),
+        ``"batch"`` (force the fast path, falling back to the event
+        kernel for ineligible fleets), ``"event"`` (multi-rate capable)
         or ``"legacy"`` (the original fixed-step loop, shared-period
-        fleets only).  Shared-period traces are bitwise identical
-        across kernels.
+        fleets only).  Traces are bitwise identical across kernels, so
+        sweeps inherit the fast path for free.
     disturbance:
         Arrival process driving the co-simulation: ``"one-shot"`` (every
         plant disturbed once at ``t = 0``, the paper's Figure 5 setup)
@@ -151,7 +159,7 @@ class Scenario:
     cosim: bool = False
     network: str = "analytic"
     horizon: Optional[float] = None
-    kernel: str = "event"
+    kernel: str = "auto"
     disturbance: str = "one-shot"
     seed: int = 0
     loss_rate: float = 0.0

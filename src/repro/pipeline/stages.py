@@ -322,8 +322,9 @@ def stage_allocate(ctx: StudyContext) -> Dict[str, Any]:
 def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
     """Verify the allocation by co-simulating all disturbed plants.
 
-    The scenario picks the kernel (event-driven by default; the legacy
-    fixed-step loop rejects multi-rate rosters), the disturbance
+    The scenario picks the kernel (``"auto"`` by default — the batched
+    analytic fast path when eligible, the event kernel otherwise; the
+    legacy fixed-step loop rejects multi-rate rosters), the disturbance
     process, and — through ``seed`` — the randomness of sporadic
     arrivals and FlexRay frame loss, so co-simulation runs are exactly
     reproducible from a scenario document.
@@ -371,9 +372,7 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
         )
     else:
         network = AnalyticNetwork()
-    simulator = CoSimulator(
-        cosim_apps, network, legacy=(scenario.kernel == "legacy")
-    )
+    simulator = CoSimulator(cosim_apps, network, kernel=scenario.kernel)
     ctx.trace = simulator.run(horizon)
     rows = []
     for row in ctx.trace.summary_rows():
@@ -389,6 +388,9 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
     artifact = {
         "network": scenario.network,
         "kernel": scenario.kernel,
+        # "auto"/"batch" resolve at run time (eligibility detection);
+        # this records the kernel that actually executed.
+        "kernel_used": simulator.last_kernel,
         "disturbance": scenario.disturbance,
         "seed": scenario.seed,
         "horizon": horizon,

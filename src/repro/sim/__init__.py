@@ -6,7 +6,9 @@ co-simulator, and trace recording for Figure 5.
 """
 
 from repro.sim.arbiter import SlotClient, SlotState, TTSlotArbiter
+from repro.sim.batch import batch_eligible
 from repro.sim.cosim import (
+    KERNELS,
     AnalyticNetwork,
     CoSimApplication,
     CoSimulator,
@@ -44,6 +46,8 @@ __all__ = [
     "EventQueue",
     "FlexRayNetwork",
     "GLOBAL_ZOH_CACHE",
+    "KERNELS",
+    "batch_eligible",
     "PeriodicTask",
     "PlantStepperBank",
     "SimulationTrace",

@@ -8,19 +8,27 @@ through the non-preemptive deadline-priority arbiter, and everything is
 recorded in :class:`~repro.sim.trace.SimulationTrace` (the data behind
 the paper's Figure 5).
 
-Two simulation kernels are provided:
+Three simulation kernels are provided (``kernel=`` selects one;
+``"auto"``, the default, picks the fastest applicable):
 
-* the **event-driven kernel** (default) schedules sampling ticks,
-  disturbance arrivals, slot grant hand-overs and message transmission
-  on a :class:`~repro.sim.events.EventQueue`.  Applications may use
-  *different* sampling periods — a 2 ms current loop can share the bus
-  with 20 ms chassis loops — and each application's state machine,
-  plant step and trace samples advance at its own rate.
-* the **legacy fixed-step kernel** (``legacy=True``) is the original
-  polling loop; it requires one shared sampling period.  On any
-  shared-period scenario both kernels produce bitwise-identical traces
-  (they execute the same operations in the same order), which the test
-  suite asserts.
+* the **batch kernel** (``kernel="batch"``) is a vectorized fast path
+  for fleets whose delays are state-independent — every application on
+  an :class:`AnalyticNetwork`.  It skips per-event dispatch entirely:
+  sampling-tick grids are precomputed, delays resolve to precomputed
+  per-mode constants, and same-dynamics plants advance in NumPy-batched
+  sweeps (see :mod:`repro.sim.batch`).  Traces are bitwise identical to
+  the event kernel; ineligible fleets fall back to it automatically.
+* the **event-driven kernel** (``kernel="event"``) schedules sampling
+  ticks, disturbance arrivals, slot grant hand-overs and message
+  transmission on a :class:`~repro.sim.events.EventQueue`.  Applications
+  may use *different* sampling periods — a 2 ms current loop can share
+  the bus with 20 ms chassis loops — and each application's state
+  machine, plant step and trace samples advance at its own rate.
+* the **legacy fixed-step kernel** (``kernel="legacy"``) is the
+  original polling loop; it requires one shared sampling period.  On
+  any shared-period scenario all kernels produce bitwise-identical
+  traces (they execute the same operations in the same order), which
+  the test suite asserts.
 
 Two network models are provided:
 
@@ -42,7 +50,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Protocol, Sequence, Tuple
+from functools import partial
+from typing import Callable, Deque, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -299,11 +308,24 @@ class _InFlight:
 class _EventKernel:
     """Event-driven co-simulation over an :class:`EventQueue`.
 
-    Per-application sampling ticks, disturbance arrivals, the arbiter's
-    grant pass and message transmission are scheduled events; ticks that
-    coincide (all of them, in the shared-period case) are coalesced into
-    one barrier so that slot arbitration still happens fleet-wide at
-    sampling instants, exactly as in the paper.
+    Per-application sampling ticks, disturbance arrivals and message
+    transmission are scheduled events; ticks that coincide are coalesced
+    into one barrier so that slot arbitration still happens fleet-wide
+    at sampling instants, exactly as in the paper.  Two instants belong
+    to the same barrier iff they round to the same **integer-nanosecond
+    timestamp**: per-application tick times are independent
+    ``k * period`` float products whose nominally coincident values
+    drift apart by a few ulps on long horizons, and ulps stay far below
+    half a nanosecond for any realistic horizon, so the rounding
+    coalesces them without an epsilon comparison.
+
+    Hot-path notes: callbacks are pre-bound per application (no closure
+    allocation per tick), queue entries are plain tuples (see
+    :mod:`repro.sim.events`), shared-period fleets tick through a single
+    coalesced *barrier event* instead of one event per application, and
+    the grant/transmit phases run as direct calls — by the time a
+    barrier opens, no other event shares its timestamp, so scheduling
+    them as same-time events (as earlier revisions did) bought nothing.
 
     Delay resolution runs in one of two modes:
 
@@ -349,8 +371,11 @@ class _EventKernel:
         self.inflight: Dict[str, _InFlight] = {}
         self.traces = SimulationTrace(horizon=horizon)
         self.slot_owner: Dict[int, Optional[str]] = {}
+        self._names = [a.name for a in self.apps]
         self._due: List[str] = []
         self._final_due: List[str] = []
+        self._all_due = False
+        self._tick_cbs: Dict[str, Callable[[float], None]] = {}
         self._comm_states: Dict[str, CommState] = {}
 
     # -- helpers ----------------------------------------------------------
@@ -364,17 +389,17 @@ class _EventKernel:
     def _maybe_flush(self, t: float) -> None:
         """Open the barrier once every event at this instant has fired.
 
-        The coalescing tolerance scales with the clock (a few ulps of
-        ``t``): per-application tick times are independent ``k * period``
-        float products, so nominally coincident instants drift apart by
-        ``O(spacing(t))`` on long horizons — an absolute epsilon would
-        eventually split one sampling instant into two barriers and run
-        slot arbitration with a partial roster.
-        """
+        Events share a barrier iff their times round to the same integer
+        nanosecond (coincident instants are exact-float-equal in the
+        shared-period case — the first comparison — and within ulps of
+        each other on multi-rate grids, far below 0.5 ns)."""
         nxt = self.queue.peek_time()
-        if nxt is not None and nxt <= t + max(_TIME_TOL, 8.0 * np.spacing(abs(t))):
-            return
-        if self._due or self._final_due:
+        if nxt is not None:
+            if nxt == t:
+                return
+            if round(nxt * 1e9) == round(t * 1e9):
+                return
+        if self._due or self._final_due or self._all_due:
             self._sample_phase(t)
 
     # -- setup ------------------------------------------------------------
@@ -405,32 +430,40 @@ class _EventKernel:
                 k = max(0, int(np.ceil((event.time - _TIME_TOL) / p)))
                 if k >= self.steps[name]:
                     continue
-                self.queue.schedule(k * p, self._disturbance_cb(name, event))
-        for app in self.apps:
-            self.queue.schedule(0.0, self._tick_cb(app.name))
+                self.queue.schedule(k * p, partial(self._on_disturbance, name, event))
+        if self.eager:
+            # Shared period: every application ticks at every instant,
+            # so one barrier event replaces n per-application events.
+            self.queue.schedule(0.0, self._on_barrier)
+        else:
+            for name in self._names:
+                cb = partial(self._on_tick, name)
+                self._tick_cbs[name] = cb
+                self.queue.schedule(0.0, cb)
         self.queue.run()
         return self.traces
 
-    def _tick_cb(self, name: str):
-        def fire(t: float) -> None:
-            self._due.append(name)
-            self._maybe_flush(t)
+    # -- event callbacks (pre-bound once, reused every tick) ---------------
 
-        return fire
+    def _on_tick(self, name: str, t: float) -> None:
+        self._due.append(name)
+        self._maybe_flush(t)
 
-    def _final_cb(self, name: str):
-        def fire(t: float) -> None:
-            self._final_due.append(name)
-            self._maybe_flush(t)
+    def _on_barrier(self, t: float) -> None:
+        self._all_due = True
+        self._maybe_flush(t)
 
-        return fire
+    def _on_final(self, name: str, t: float) -> None:
+        self._final_due.append(name)
+        self._maybe_flush(t)
 
-    def _disturbance_cb(self, name: str, event: DisturbanceEvent):
-        def fire(t: float) -> None:
-            self.pending[name].append(event)
-            self._maybe_flush(t)
+    def _on_final_barrier(self, t: float) -> None:
+        self._final_due = list(self._names)
+        self._maybe_flush(t)
 
-        return fire
+    def _on_disturbance(self, name: str, event: DisturbanceEvent, t: float) -> None:
+        self.pending[name].append(event)
+        self._maybe_flush(t)
 
     # -- barrier phases ---------------------------------------------------
 
@@ -438,9 +471,14 @@ class _EventKernel:
         """Resolve finished intervals, apply disturbances, advance the
         per-application state machines; chains into the grant phase."""
         sim = self.sim
-        due = sorted(self._due, key=self.index.__getitem__)
+        if self._all_due:
+            self._all_due = False
+            due = self._names
+        else:
+            due = sorted(self._due, key=self.index.__getitem__)
+            self._due = []
         finals = sorted(self._final_due, key=self.index.__getitem__)
-        self._due, self._final_due = [], []
+        self._final_due = []
         if not self.eager:
             self._resolve(t, due + finals)
         for name in finals:
@@ -458,24 +496,31 @@ class _EventKernel:
                 # when no control loop sampled at this one.
                 self.network.event_submit(t, self.queue.peek_time(), [])
             return
+        # In the eager (shared-period) case every due tick time is the
+        # barrier time itself — the same k * period float product the
+        # barrier event was scheduled with — so the per-application
+        # products are skipped.
+        eager = self.eager
         for name in due:
             app = self.by_name[name]
             events = self.pending[name]
-            tick = self._tick_time(name)
-            while events:
-                event = events.popleft()
-                self.states[name] = (
-                    self.states[name] + event.magnitude * app.disturbance_state
-                )
-                sim.runtimes[name].on_disturbance(tick)
+            if events:
+                tick = t if eager else self._tick_time(name)
+                while events:
+                    event = events.popleft()
+                    self.states[name] = (
+                        self.states[name] + event.magnitude * app.disturbance_state
+                    )
+                    sim.runtimes[name].on_disturbance(tick)
         sim.arbiter.grant_pending()
-        self._comm_states = {}
+        self._comm_states = comm_states = {}
+        runtimes = sim.runtimes
         for name in due:
-            self._comm_states[name] = sim.runtimes[name].update(
-                self._tick_time(name), self._norm(name)
+            comm_states[name] = runtimes[name].update(
+                t if eager else self._tick_time(name), self._norm(name)
             )
         self._active_due = due
-        self.queue.schedule(t, self._grant_phase)
+        self._grant_phase(t)
 
     def _grant_phase(self, t: float) -> None:
         """Hand freed slots over; a grant may flip a *due* application
@@ -490,9 +535,9 @@ class _EventKernel:
                 and runtime.state is CommState.WAITING
             ):
                 self._comm_states[name] = runtime.update(
-                    self._tick_time(name), self._norm(name)
+                    t if self.eager else self._tick_time(name), self._norm(name)
                 )
-        self.queue.schedule(t, self._transmit_phase)
+        self._transmit_phase(t)
 
     def _transmit_phase(self, t: float) -> None:
         """Propagate slot ownership, compute control inputs, put the
@@ -509,6 +554,7 @@ class _EventKernel:
                 self.slot_owner[app.slot] = holder
         submissions: List[Submission] = []
         inputs: Dict[str, np.ndarray] = {}
+        eager = self.eager
         for name in due:
             app = self.by_name[name]
             uses_tt = self._comm_states[name] is CommState.TT_HOLDING
@@ -521,7 +567,7 @@ class _EventKernel:
                     spec=app.frame,
                     uses_tt=uses_tt,
                     slot=app.slot if uses_tt else None,
-                    release_time=self._tick_time(name),
+                    release_time=t if eager else self._tick_time(name),
                 )
             )
         if self.eager:
@@ -545,11 +591,22 @@ class _EventKernel:
                 )
         for name in due:
             self.tick_index[name] += 1
-            k = self.tick_index[name]
-            if k < self.steps[name]:
-                self.queue.schedule(k * self.periods[name], self._tick_cb(name))
-            elif k == self.steps[name]:
-                self.queue.schedule(k * self.periods[name], self._final_cb(name))
+        if self.eager:
+            lead = due[0]
+            k = self.tick_index[lead]
+            if k < self.steps[lead]:
+                self.queue.schedule(k * self.periods[lead], self._on_barrier)
+            elif k == self.steps[lead]:
+                self.queue.schedule(k * self.periods[lead], self._on_final_barrier)
+        else:
+            for name in due:
+                k = self.tick_index[name]
+                if k < self.steps[name]:
+                    self.queue.schedule(k * self.periods[name], self._tick_cbs[name])
+                elif k == self.steps[name]:
+                    self.queue.schedule(
+                        k * self.periods[name], partial(self._on_final, name)
+                    )
         if not self.eager:
             window_end = self.queue.peek_time()
             if window_end is None:
@@ -592,7 +649,7 @@ class _EventKernel:
                 delay = self.periods[name]
                 lost_names.add(name)
             self.traces[name].append(
-                self._tick_time(name), self._norm(name), self._comm_states[name], delay
+                t, self._norm(name), self._comm_states[name], delay
             )
             requests[name] = (inputs[name], self.held[name], delay)
         self.bank.step_all(self.states, requests)
@@ -647,18 +704,33 @@ class _EventKernel:
                 self.held[name] = record.u
 
 
+#: Kernel names accepted by :class:`CoSimulator`.
+KERNELS = ("auto", "batch", "event", "legacy")
+
+
 class CoSimulator:
     """Co-simulation of applications sharing TT slots.
 
-    The default event-driven kernel supports fleets with *mixed*
-    sampling periods (disturbance arrivals, per-application ticks, slot
-    hand-overs and transmissions are queue events); ``legacy=True``
-    selects the original fixed-step polling loop, which requires all
-    applications to share one sampling period (the paper's case study
-    uses ``h = 20 ms`` throughout).  Disturbances are applied at the
-    owning application's first sampling instant at or after their
-    arrival time in both kernels, and shared-period traces are bitwise
-    identical across kernels.
+    ``kernel=`` selects the simulation kernel:
+
+    * ``"auto"`` (default) — the batch fast path when the fleet is
+      eligible (see :func:`repro.sim.batch.batch_eligible`), the event
+      kernel otherwise;
+    * ``"batch"`` — the vectorized analytic-network fast path, falling
+      back to the event kernel when the fleet is ineligible;
+    * ``"event"`` — the event-driven kernel; supports fleets with
+      *mixed* sampling periods (disturbance arrivals, per-application
+      ticks and transmissions are queue events);
+    * ``"legacy"`` — the original fixed-step polling loop, which
+      requires all applications to share one sampling period (the
+      paper's case study uses ``h = 20 ms`` throughout).
+      ``legacy=True`` remains as a backward-compatible alias.
+
+    Disturbances are applied at the owning application's first sampling
+    instant at or after their arrival time in every kernel, and traces
+    are bitwise identical across all kernels that accept a given fleet.
+    After :meth:`run`, :attr:`last_kernel` names the kernel that
+    actually executed (``"batch"``/``"event"``/``"legacy"``).
     """
 
     def __init__(
@@ -669,18 +741,32 @@ class CoSimulator:
         equalize_delays: bool = True,
         tt_allowed: bool = True,
         legacy: bool = False,
+        kernel: Optional[str] = None,
     ):
         if not applications:
             raise ValueError("need at least one application")
+        if legacy:
+            if kernel not in (None, "legacy"):
+                raise ValueError(
+                    f"legacy=True conflicts with kernel={kernel!r}; "
+                    "pass one or the other"
+                )
+            kernel = "legacy"
+        elif kernel is None:
+            kernel = "auto"
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {list(KERNELS)}"
+            )
         names = [a.name for a in applications]
         if len(set(names)) != len(names):
             raise ValueError(f"application names must be unique, got {names}")
         periods = {round(a.app.period, 12) for a in applications}
-        if legacy and len(periods) != 1:
+        if kernel == "legacy" and len(periods) != 1:
             raise ValueError(
                 "the legacy fixed-step kernel requires one shared sampling "
                 f"period, got {sorted(periods)}; use the event kernel "
-                "(legacy=False) for multi-rate fleets"
+                "(kernel='event') for multi-rate fleets"
             )
         if period is not None:
             if len(periods) != 1:
@@ -696,7 +782,9 @@ class CoSimulator:
             self.period = applications[0].app.period
         else:
             self.period = None  # multi-rate: each application keeps its own
-        self.legacy = legacy
+        self.kernel = kernel
+        self.legacy = kernel == "legacy"
+        self.last_kernel: Optional[str] = None
         self.applications = list(applications)
         self.network = network
         self.equalize_delays = equalize_delays
@@ -722,8 +810,17 @@ class CoSimulator:
     def run(self, horizon: float) -> SimulationTrace:
         """Simulate up to ``horizon`` seconds and return the trace."""
         check_positive(horizon, "horizon")
-        if self.legacy:
+        kernel = self.kernel
+        if kernel in ("auto", "batch"):
+            # Imported lazily: repro.sim.batch imports from this module.
+            from repro.sim.batch import _BatchKernel, batch_eligible
+
+            kernel = "batch" if batch_eligible(self) else "event"
+        self.last_kernel = kernel
+        if kernel == "legacy":
             return self._run_legacy(horizon)
+        if kernel == "batch":
+            return _BatchKernel(self, horizon).run()
         return _EventKernel(self, horizon).run()
 
     def _run_legacy(self, horizon: float) -> SimulationTrace:
@@ -864,6 +961,7 @@ __all__ = [
     "CoSimulator",
     "Delivery",
     "FlexRayNetwork",
+    "KERNELS",
     "NetworkModel",
     "Submission",
 ]

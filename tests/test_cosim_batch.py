@@ -1,0 +1,217 @@
+"""Batch fast-path kernel: parity, eligibility and fallback tests.
+
+The acceptance bar of the batch kernel: on *any* analytic-network fleet
+— shared-period or multi-rate, any disturbance process, any seed — it
+produces traces bitwise identical to the event kernel (and, where the
+legacy kernel applies, to that too).  Ineligible fleets (cycle-accurate
+FlexRay buses, frame loss, subclassed networks) fall back to the event
+kernel transparently.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from test_cosim_event import make_app, multirate_fleet, shared_fleet
+
+from repro.control.disturbance import (
+    OneShotDisturbance,
+    PeriodicDisturbance,
+    SporadicDisturbance,
+)
+from repro.control.plants import (
+    dc_motor_speed,
+    motor_current_loop,
+    servo_rig,
+    throttle_by_wire,
+)
+from repro.experiments import traces_bitwise_equal
+from repro.flexray import FlexRayBus, paper_bus_config
+from repro.sim import (
+    AnalyticNetwork,
+    CoSimulator,
+    FlexRayNetwork,
+    batch_eligible,
+)
+
+SHARED_PLANTS = [servo_rig, dc_motor_speed, throttle_by_wire]
+
+
+def random_disturbance(rng: random.Random):
+    kind = rng.randrange(3)
+    if kind == 0:
+        return OneShotDisturbance(time=rng.uniform(0.0, 2.0))
+    if kind == 1:
+        return PeriodicDisturbance(
+            period=rng.uniform(1.5, 3.0), offset=rng.uniform(0.0, 1.0)
+        )
+    return SporadicDisturbance(
+        min_inter_arrival=rng.uniform(1.5, 2.5),
+        mean_extra_gap=rng.uniform(0.0, 1.0),
+        seed=rng.randrange(1000),
+    )
+
+
+def random_shared_fleet(rng: random.Random):
+    """2-4 applications, one shared native period, random arrivals."""
+    count = rng.randint(2, 4)
+    fleet = []
+    for index in range(count):
+        plant = rng.choice(SHARED_PLANTS)
+        fleet.append(
+            make_app(
+                f"app{index}",
+                plant(),
+                slot=rng.randrange(2),
+                frame_id=index + 1,
+                deadline=rng.uniform(4.0, 6.0),
+                disturbances=random_disturbance(rng),
+            )
+        )
+    return fleet
+
+
+def random_multirate_fleet(rng: random.Random):
+    """A 2 ms current loop beside 20 ms loops with random arrivals."""
+    fleet = [
+        make_app(
+            "current",
+            motor_current_loop(),
+            slot=0,
+            frame_id=1,
+            deadline=0.5,
+            period=0.002,
+        )
+    ]
+    for index in range(rng.randint(1, 3)):
+        plant = rng.choice(SHARED_PLANTS)
+        fleet.append(
+            make_app(
+                f"app{index}",
+                plant(),
+                slot=rng.randrange(2),
+                frame_id=index + 2,
+                deadline=rng.uniform(4.0, 6.0),
+                disturbances=random_disturbance(rng),
+            )
+        )
+    return fleet
+
+
+class TestBatchParity:
+    """Bitwise identity against the event (and legacy) kernels."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_shared_fleets_identical_across_all_kernels(self, seed):
+        rng = random.Random(seed)
+        horizon = rng.uniform(4.0, 8.0)
+        builder = lambda: random_shared_fleet(random.Random(seed))  # noqa: E731
+        traces = {}
+        sims = {}
+        for kernel in ("legacy", "event", "batch"):
+            sims[kernel] = CoSimulator(builder(), AnalyticNetwork(), kernel=kernel)
+            traces[kernel] = sims[kernel].run(horizon)
+        assert sims["batch"].last_kernel == "batch"
+        assert traces_bitwise_equal(traces["batch"], traces["event"])
+        assert traces_bitwise_equal(traces["batch"], traces["legacy"])
+        assert (
+            sims["batch"].jitter_violations
+            == sims["event"].jitter_violations
+            == sims["legacy"].jitter_violations
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_multirate_fleets_identical_to_event_kernel(self, seed):
+        rng = random.Random(1000 + seed)
+        horizon = rng.uniform(3.0, 6.0)
+        builder = lambda: random_multirate_fleet(random.Random(1000 + seed))  # noqa: E731
+        event_sim = CoSimulator(builder(), AnalyticNetwork(), kernel="event")
+        batch_sim = CoSimulator(builder(), AnalyticNetwork(), kernel="batch")
+        event = event_sim.run(horizon)
+        batch = batch_sim.run(horizon)
+        assert batch_sim.last_kernel == "batch"
+        assert traces_bitwise_equal(batch, event)
+        assert batch_sim.jitter_violations == event_sim.jitter_violations
+        assert not any(
+            np.isnan(np.asarray(batch[a.name].delays)).any() for a in builder()
+        )
+
+    def test_parity_without_delay_equalization(self):
+        event = CoSimulator(
+            shared_fleet(), AnalyticNetwork(), equalize_delays=False, kernel="event"
+        ).run(5.0)
+        batch = CoSimulator(
+            shared_fleet(), AnalyticNetwork(), equalize_delays=False, kernel="batch"
+        ).run(5.0)
+        assert traces_bitwise_equal(batch, event)
+
+    def test_parity_for_pure_et_baseline(self):
+        event = CoSimulator(
+            shared_fleet(), AnalyticNetwork(), tt_allowed=False, kernel="event"
+        ).run(5.0)
+        batch = CoSimulator(
+            shared_fleet(), AnalyticNetwork(), tt_allowed=False, kernel="batch"
+        ).run(5.0)
+        assert traces_bitwise_equal(batch, event)
+
+    def test_parity_for_multirate_reference_fleet(self):
+        event = CoSimulator(multirate_fleet(), AnalyticNetwork(), kernel="event").run(6.0)
+        batch = CoSimulator(multirate_fleet(), AnalyticNetwork(), kernel="batch").run(6.0)
+        assert traces_bitwise_equal(batch, event)
+
+
+class TestEligibilityAndFallback:
+    def test_auto_picks_batch_on_analytic_fleets(self):
+        sim = CoSimulator(shared_fleet(), AnalyticNetwork())
+        assert sim.kernel == "auto" and batch_eligible(sim)
+        sim.run(3.0)
+        assert sim.last_kernel == "batch"
+
+    def test_flexray_fleet_falls_back_to_event_kernel(self):
+        """FlexRay + sporadic arrivals + frame loss: ineligible, and the
+        fallback must not change physics vs. an explicit event run."""
+        dist = lambda i: SporadicDisturbance(  # noqa: E731
+            min_inter_arrival=2.0, mean_extra_gap=0.7, seed=i
+        )
+        net = lambda: FlexRayNetwork(  # noqa: E731
+            bus=FlexRayBus(config=paper_bus_config()), loss_rate=0.3, loss_seed=7
+        )
+        batch_sim = CoSimulator(shared_fleet(dist), net(), kernel="batch")
+        assert not batch_eligible(batch_sim)
+        batch_trace = batch_sim.run(6.0)
+        assert batch_sim.last_kernel == "event"
+        event_sim = CoSimulator(shared_fleet(dist), net(), kernel="event")
+        assert traces_bitwise_equal(batch_trace, event_sim.run(6.0))
+
+    def test_multirate_flexray_falls_back_and_runs(self):
+        network = FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))
+        sim = CoSimulator(multirate_fleet(), network, kernel="batch")
+        trace = sim.run(3.0)
+        assert sim.last_kernel == "event"
+        assert len(trace.apps) == 3
+
+    def test_subclassed_network_is_not_eligible(self):
+        """A subclass may override the delay model — be conservative."""
+
+        class TweakedAnalytic(AnalyticNetwork):
+            pass
+
+        sim = CoSimulator(shared_fleet(), TweakedAnalytic(), kernel="auto")
+        assert not batch_eligible(sim)
+        sim.run(2.0)
+        assert sim.last_kernel == "event"
+
+    def test_legacy_flag_conflicts_with_other_kernels(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            CoSimulator(shared_fleet(), AnalyticNetwork(), legacy=True, kernel="batch")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            CoSimulator(shared_fleet(), AnalyticNetwork(), kernel="quantum")
+
+    def test_explicit_legacy_kernel_string(self):
+        sim = CoSimulator(shared_fleet(), AnalyticNetwork(), kernel="legacy")
+        assert sim.legacy is True
+        sim.run(2.0)
+        assert sim.last_kernel == "legacy"

@@ -258,7 +258,7 @@ class TestScenarioCoSimFields:
             "bus": None, "cosim": False, "network": "analytic", "horizon": None,
         }
         scenario = Scenario.from_dict(legacy_doc)
-        assert scenario.kernel == "event"
+        assert scenario.kernel == "auto"
         assert scenario.disturbance == "one-shot"
         assert scenario.seed == 0 and scenario.loss_rate == 0.0
 
@@ -292,7 +292,9 @@ class TestMultiRateStudy:
         assert len({round(p, 9) for p in periods.values()}) >= 2
         assert periods["motor-current-loop"] == pytest.approx(0.002)
         artifact = study.artifact("cosim")
-        assert artifact["kernel"] == "event"
+        assert artifact["kernel"] == "auto"
+        # Multi-rate analytic fleets are eligible for the batch fast path.
+        assert artifact["kernel_used"] == "batch"
         assert artifact["all_deadlines_met"] is True
         assert artifact["qoc"] > 0
 

@@ -77,9 +77,45 @@ class TestEventQueue:
         drop = queue.schedule(1.0, lambda t: fired.append("drop"))
         queue.cancel(drop)
         queue.cancel(drop)  # double-cancel must be harmless
+        assert queue.is_cancelled(drop) and not queue.is_cancelled(keep)
         queue.run_until(2.0)
         assert fired == ["keep"]
-        assert keep.cancelled is False
+
+    def test_cancel_after_fire_is_a_noop(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda t: fired.append(t))
+        later = queue.schedule(2.0, lambda t: fired.append(t))
+        queue.run_until(1.0)
+        queue.cancel(handle)  # already fired: must not corrupt the count
+        assert len(queue) == 1
+        queue.run_until(3.0)
+        assert fired == [1.0, 2.0]
+        assert len(queue) == 0
+        queue.cancel(later)  # and again, after everything drained
+        assert len(queue) == 0
+
+    def test_len_is_live_count_and_stays_consistent(self):
+        queue = EventQueue()
+        handles = [queue.schedule(float(i), lambda t: None) for i in range(10)]
+        assert len(queue) == 10
+        for handle in handles[::2]:
+            queue.cancel(handle)
+        assert len(queue) == 5
+        queue.run_until(20.0)
+        assert len(queue) == 0
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        """Cancelled entries must not accumulate: after cancelling more
+        than half the queue, the heap itself shrinks."""
+        queue = EventQueue()
+        handles = [queue.schedule(float(i), lambda t: None) for i in range(100)]
+        for handle in handles[:80]:
+            queue.cancel(handle)
+        assert len(queue) == 20
+        assert len(queue._heap) <= 40  # compaction actually ran
+        fired = queue.run()
+        assert fired == 20
 
     def test_cancel_head_updates_peek(self):
         queue = EventQueue()
