@@ -6,7 +6,7 @@ from repro.experiments.ablations import run_qoc_ablation
 def test_bench_qoc_ablation(benchmark, sim_apps):
     result = benchmark(lambda: run_qoc_ablation(applications=sim_apps))
     print("\n" + result.report())
-    for name, j0, j_max, penalty in result.rows:
+    for _name, j0, j_max, penalty in result.rows:
         assert j0 >= 0.0
         assert j_max >= j0 - 1e-9  # waiting never improves the LQ cost
         assert penalty >= -1e-9

@@ -32,7 +32,7 @@ def test_bench_fig5_bus_throughput(benchmark):
     def run_bus():
         bus = FlexRayBus(config=paper_bus_config())
         spec = FrameSpec(frame_id=1)
-        for cycle in range(200):
+        for _ in range(200):
             bus.submit_et(Message(spec=spec, release_time=bus.time))
             bus.run_cycle()
         return bus.statistics.et_deliveries

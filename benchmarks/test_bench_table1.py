@@ -5,7 +5,6 @@ the analogue table from the six plants through the characterisation
 pipeline (that pipeline is what gets benchmarked).
 """
 
-import pytest
 
 from repro.core.timing_params import PAPER_TABLE_I
 from repro.experiments.casestudy import design_case_study_application

@@ -14,6 +14,7 @@ Usage::
     python -m repro sweep [--scenario NAME] [--axis FIELD=V1,V2] [--replications N]
                           [--ci-target HW [--ci-relative] --max-replications N --budget N]
     python -m repro solvers
+    python -m repro lint [paths ...] [--rule ID] [--json]
 
 Every command accepts ``--json`` to emit machine-readable results
 instead of ASCII reports; ``study`` runs declarative
@@ -251,6 +252,33 @@ def _cmd_sweep(args):
     if args.output:
         text += f"\nper-run JSONL streamed to {args.output}"
     return text, result.to_dict()
+
+
+def _cmd_lint(args):
+    """Static determinism-contract analysis (``repro.qa``).
+
+    Returns a third tuple element — the process exit code — so a dirty
+    tree gates CI (0 clean, 1 error findings, 2 usage errors).
+    """
+    from repro.qa import all_rules, lint_paths, render_text, report_dict, rules_by_id
+
+    rules = list(all_rules())
+    if args.rule:
+        by_id = rules_by_id()
+        unknown = [rule_id for rule_id in args.rule if rule_id not in by_id]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(by_id))}"
+            )
+        rules = [by_id[rule_id] for rule_id in args.rule]
+    paths = args.paths or ["src"]
+    result = lint_paths(paths, rules=rules)
+    return (
+        render_text(result),
+        report_dict(result, paths, rules),
+        result.exit_code,
+    )
 
 
 def _cmd_solvers(args):
@@ -508,6 +536,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered allocator/analysis backends and capabilities",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        parents=[common],
+        help="static determinism-contract analysis (QA001-QA005)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable), e.g. --rule QA003",
+    )
+
     p_all = sub.add_parser(
         "all", parents=[common], help="regenerate every artefact in one pass"
     )
@@ -537,6 +583,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
     "solvers": _cmd_solvers,
+    "lint": _cmd_lint,
     "all": _cmd_all,
 }
 
@@ -544,18 +591,22 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        text, data = _COMMANDS[args.command](args)
+        # Handlers return (text, data) or (text, data, exit_code);
+        # ``lint`` uses the third form to gate CI on findings.
+        outcome = _COMMANDS[args.command](args)
     except ValueError as exc:
         # Domain errors (unknown scenario, bad stride, infeasible set)
         # surface as a clean CLI diagnostic, not a traceback.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    text, data = outcome[0], outcome[1]
+    code = outcome[2] if len(outcome) == 3 else 0
     if args.json:
         print(json.dumps(to_jsonable(data), indent=2))
     else:
         print(text)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

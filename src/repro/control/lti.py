@@ -13,7 +13,7 @@ from a :class:`ContinuousStateSpace` by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -18,7 +18,7 @@ steady-state threshold, and the sampling period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict
 
 import numpy as np

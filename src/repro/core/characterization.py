@@ -9,7 +9,7 @@ off the timing parameters used by the schedulability analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -17,7 +17,6 @@ randomised application sets.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 

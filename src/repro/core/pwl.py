@@ -21,7 +21,6 @@ and :meth:`PwlDwellModel.dominates` verifies it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 

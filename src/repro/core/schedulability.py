@@ -24,12 +24,11 @@ implements both that bound and the exact fixed-point iteration.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.pwl import PwlDwellModel, from_timing_parameters
-from repro.core.timing_params import TimingParameters, priority_order
-from repro.utils.validation import check_nonnegative
+from repro.core.timing_params import TimingParameters
 
 
 @dataclass(frozen=True)

@@ -10,11 +10,9 @@ segment the resulting allocation implies.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.allocation import first_fit_allocation, make_analyzed
-from repro.core.pwl import from_timing_parameters
-from repro.core.schedulability import AnalyzedApplication
 from repro.core.timing_params import TimingParameters
 from repro.utils.validation import check_positive
 

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.core.schedulability import (
 from repro.core.timing_params import TimingParameters
 from repro.experiments.casestudy import CaseStudyApplication, simulation_applications
 from repro.experiments.reporting import format_table
-from repro.testbed.servo import ServoRigConfig, ServoTestbed, default_servo_testbed
+from repro.testbed.servo import ServoRigConfig, default_servo_testbed
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,7 @@ Two flavours:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.control.controller import SwitchedApplication
 from repro.control.plants import PlantDefinition

@@ -18,7 +18,7 @@ from repro.core.characterization import (
     characterize_response_source,
 )
 from repro.experiments.reporting import format_series, format_table
-from repro.testbed.servo import ServoTestbed, default_servo_testbed
+from repro.testbed.servo import ServoTestbed
 
 #: The paper's measured reference values (seconds).
 PAPER_XI_TT = 0.68

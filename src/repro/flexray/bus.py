@@ -10,7 +10,7 @@ returns everything delivered on the way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.flexray.dynamic_segment import DynamicSegment
 from repro.flexray.frame import FrameSpec, Message

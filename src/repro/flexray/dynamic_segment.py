@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.flexray.frame import FrameSpec, Message
+from repro.flexray.frame import Message
 from repro.flexray.params import FlexRayConfig
 from repro.utils.validation import check_positive
 

@@ -11,7 +11,7 @@ occurrence (paper Section II-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.flexray.frame import FrameSpec, Message
 from repro.flexray.params import FlexRayConfig

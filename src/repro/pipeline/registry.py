@@ -16,7 +16,7 @@ is built for.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 from repro.pipeline.scenario import BusSpec, Scenario
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.schedulability import UnschedulableError
 from repro.pipeline.cache import DwellCurveCache, GLOBAL_DWELL_CACHE
@@ -61,7 +61,10 @@ class DesignStudy:
     def run(self) -> StudyResult:
         ctx = StudyContext(scenario=self.scenario, cache=self.cache)
         records: List[StageRecord] = []
-        started = time.time()
+        # Durations come from the monotonic clock, symmetrically with the
+        # per-stage timings below — time.time() is NTP-step sensitive and
+        # would let a clock slew corrupt the recorded elapsed time.
+        t0_run = time.perf_counter()
         failed = False
         for name in STAGE_ORDER:
             if failed:
@@ -114,7 +117,9 @@ class DesignStudy:
         provenance = {
             "repro_version": __version__,
             "scenario_name": self.scenario.name,
-            "started_at": started,
+            # Total run duration on the same monotonic clock as the
+            # per-stage `elapsed` fields (so the sum and the total agree).
+            "elapsed": time.perf_counter() - t0_run,
             "stage_order": list(STAGE_ORDER),
         }
         attachments = StudyAttachments(

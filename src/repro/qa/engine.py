@@ -1,0 +1,296 @@
+"""AST rule engine for the repository's determinism contract.
+
+The engine parses each module once and walks the tree once; every
+:class:`Rule` declares the node types it cares about and is dispatched
+only for those, so adding rules does not add passes.  Rules are scoped
+by dotted module prefix (``repro.sim`` covers ``repro.sim.cosim``),
+carry a per-rule severity, and honour per-rule module allowlists plus
+inline suppressions of the ``# repro: allow[QA003]`` form
+(:mod:`repro.qa.suppress`).
+
+Entry points: :func:`lint_source` for one in-memory module,
+:func:`lint_paths` for files/directory trees (returns a
+:class:`LintResult` whose :attr:`~LintResult.exit_code` is the CLI/CI
+gate).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.qa.findings import Finding
+from repro.qa.suppress import parse_suppressions
+
+#: Rule id for engine-level findings: syntax errors and suppressions
+#: naming unknown rules.  Not suppressible by design.
+META_RULE_ID = "QA000"
+
+#: Longest snippet recorded on a finding (one line, for reports).
+_SNIPPET_WIDTH = 88
+
+
+def module_for_path(path: str) -> str:
+    """Dotted module name for ``path``, anchored at the ``repro`` package.
+
+    ``src/repro/sim/cosim.py`` → ``repro.sim.cosim``; paths outside a
+    ``repro`` tree fall back to the file stem, which keeps scoped rules
+    inert on foreign files.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``np.random.default_rng`` for the matching attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ModuleContext:
+    """Everything a rule may inspect about the module being linted."""
+
+    def __init__(self, path: str, module: str, source: str, tree: ast.AST):
+        self.path = path
+        self.module = module
+        self.source = source
+        self.tree = tree
+
+    def segment(self, node: ast.AST) -> str:
+        """First source line of ``node``, trimmed for report snippets."""
+        text = ast.get_source_segment(self.source, node) or ""
+        first = text.splitlines()[0] if text else ""
+        if len(first) > _SNIPPET_WIDTH:
+            first = first[: _SNIPPET_WIDTH - 3] + "..."
+        return first
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            end_line=getattr(node, "end_lineno", None),
+            end_col=getattr(node, "end_col_offset", None),
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=message,
+            snippet=self.segment(node),
+        )
+
+
+class Rule:
+    """Base class for determinism-contract rules.
+
+    Subclasses set the class attributes and implement :meth:`visit`,
+    which receives every node whose type appears in :attr:`node_types`
+    and yields :class:`Finding` objects (usually via
+    ``ctx.finding(self, node, message)``).
+    """
+
+    #: Stable identifier (``QA001``...), the suppression key.
+    rule_id: str = META_RULE_ID
+    #: One-line rule name for reports.
+    title: str = ""
+    #: Why the rule exists — surfaced by ``repro lint --json`` and docs.
+    rationale: str = ""
+    severity: str = "error"
+    #: Dotted module prefixes the rule applies to; empty = every module.
+    scope: Tuple[str, ...] = ()
+    #: Dotted module prefixes exempted (the built-in allowlist).
+    allow_modules: Tuple[str, ...] = ()
+    #: AST node classes dispatched to :meth:`visit` (exact types).
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        return not self.scope or _prefix_match(module, self.scope)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        """Per-module setup hook (state reset, lazy registry loads)."""
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "id": self.rule_id,
+            "title": self.title,
+            "severity": self.severity,
+            "scope": list(self.scope),
+            "rationale": self.rationale,
+        }
+
+
+def _prefix_match(module: str, prefixes: Iterable[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+@dataclass
+class LintResult:
+    """Findings plus the files they were drawn from."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    @property
+    def exit_code(self) -> int:
+        """0 when the tree is clean of errors; 1 otherwise (the gate)."""
+        return 1 if self.errors else 0
+
+
+def _default_rules() -> Sequence[Rule]:
+    from repro.qa import all_rules
+
+    return all_rules()
+
+
+def _known_rule_ids(rules: Sequence[Rule]) -> set:
+    from repro.qa import rule_ids
+
+    return set(rule_ids()) | {rule.rule_id for rule in rules} | {META_RULE_ID}
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    rules: Optional[Sequence[Rule]] = None,
+    allowlist: Optional[Mapping[str, Sequence[str]]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns sorted findings.
+
+    ``allowlist`` maps rule ids to extra exempted module prefixes on
+    top of each rule's built-in :attr:`Rule.allow_modules`.
+    """
+    if rules is None:
+        rules = _default_rules()
+    path = str(path)
+    module = module_for_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=max((exc.offset or 1) - 1, 0),
+                rule_id=META_RULE_ID,
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    extra_allow = allowlist or {}
+    active = [
+        rule
+        for rule in rules
+        if rule.applies_to(module)
+        and not _prefix_match(
+            module,
+            tuple(rule.allow_modules) + tuple(extra_allow.get(rule.rule_id, ())),
+        )
+    ]
+    ctx = ModuleContext(path=path, module=module, source=source, tree=tree)
+    by_type: Dict[type, List[Rule]] = {}
+    for rule in active:
+        rule.begin_module(ctx)
+        for node_type in rule.node_types:
+            by_type.setdefault(node_type, []).append(rule)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        for rule in by_type.get(type(node), ()):
+            findings.extend(rule.visit(node, ctx))
+    suppressions = parse_suppressions(source)
+    known = _known_rule_ids(rules)
+    kept = [
+        f
+        for f in findings
+        if f.rule_id not in {rid for rid, _ in suppressions.get(f.line, ())}
+    ]
+    for line, entries in suppressions.items():
+        for rule_id, col in entries:
+            if rule_id not in known:
+                kept.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=col,
+                        rule_id=META_RULE_ID,
+                        severity="error",
+                        message=(
+                            f"suppression names unknown rule {rule_id!r}; "
+                            f"known rules: {', '.join(sorted(known))}"
+                        ),
+                    )
+                )
+    return sorted(kept)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted, deterministic order."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            for candidate in sorted(root.rglob("*.py")):
+                if "__pycache__" in candidate.parts:
+                    continue
+                if any(part.startswith(".") for part in candidate.parts[1:]):
+                    continue
+                yield candidate
+        else:
+            raise ValueError(f"lint path {raw!r} is neither a file nor a directory")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    allowlist: Optional[Mapping[str, Sequence[str]]] = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` (files or directory trees)."""
+    if rules is None:
+        rules = _default_rules()
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.files.append(str(file_path))
+        source = file_path.read_text(encoding="utf-8")
+        result.findings.extend(
+            lint_source(source, path=str(file_path), rules=rules, allowlist=allowlist)
+        )
+    result.findings.sort()
+    return result
+
+
+__all__ = [
+    "LintResult",
+    "META_RULE_ID",
+    "ModuleContext",
+    "Rule",
+    "dotted_name",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_for_path",
+]

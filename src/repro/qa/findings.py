@@ -1,0 +1,66 @@
+"""Finding records produced by the :mod:`repro.qa` rule engine.
+
+A :class:`Finding` pins one rule violation to a source span.  Findings
+are frozen and totally ordered (path, line, column, rule id), so
+reports are deterministic regardless of rule-evaluation order — the
+same property the rules themselves police in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Recognised severities, most severe first.  ``error`` findings make
+#: ``repro lint`` exit non-zero; ``warning`` findings are reported but
+#: do not gate.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source span."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    end_line: Optional[int] = None
+    end_col: Optional[int] = None
+    snippet: str = ""
+
+    def location(self) -> str:
+        """``path:line:column`` with a 1-based column (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            rule_id=data["rule_id"],
+            severity=data["severity"],
+            message=data["message"],
+            end_line=data.get("end_line"),
+            end_col=data.get("end_col"),
+            snippet=data.get("snippet", ""),
+        )
+
+
+__all__ = ["Finding", "SEVERITIES"]

@@ -1,0 +1,68 @@
+"""Reporters: human-readable text and a JSON document for CI artifacts.
+
+The JSON report is versioned and self-describing (it embeds the rule
+table), round-trips through ``json.loads``, and is what the CI lint
+job uploads next to the BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.qa.engine import LintResult, Rule
+
+#: Bump when the JSON document shape changes.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Compiler-style report: one ``path:line:col`` line per finding."""
+    lines: List[str] = [
+        f"{finding.location()}: {finding.rule_id} [{finding.severity}] "
+        f"{finding.message}"
+        for finding in result.findings
+    ]
+    checked = f"{len(result.files)} file(s) checked"
+    if not result.findings:
+        lines.append(f"repro lint: clean — {checked}")
+    else:
+        lines.append(
+            f"repro lint: {result.errors} error(s), {result.warnings} "
+            f"warning(s) — {checked}"
+        )
+    return "\n".join(lines)
+
+
+def report_dict(
+    result: LintResult,
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+) -> Dict[str, Any]:
+    """The ``--json`` document (also the CI artifact payload)."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro.qa",
+        "paths": list(paths),
+        "rules": [rule.describe() for rule in rules],
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {
+            "files_checked": len(result.files),
+            "findings": len(result.findings),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "exit_code": result.exit_code,
+        },
+    }
+
+
+def render_json(
+    result: LintResult,
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    indent: int = 2,
+) -> str:
+    return json.dumps(report_dict(result, paths, rules), indent=indent)
+
+
+__all__ = ["REPORT_VERSION", "render_json", "render_text", "report_dict"]

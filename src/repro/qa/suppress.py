@@ -1,0 +1,42 @@
+"""Inline suppressions: ``# repro: allow[QA003]``.
+
+A suppression comment silences exactly the named rule(s) on exactly the
+physical line carrying the comment — there is no file- or block-level
+form, so every deliberate exception stays visible where it happens.
+Several ids may share one bracket (``allow[QA001,QA003]``) and a line
+may carry several brackets; each id still binds to that line only.
+
+Unknown rule ids are not silently ignored: the engine reports them as
+:data:`~repro.qa.engine.META_RULE_ID` findings, so a typo'd suppression
+(``allow[QA01]``) fails the gate instead of quietly disabling nothing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def parse_suppressions(source: str) -> Dict[int, List[Tuple[str, int]]]:
+    """Map 1-based line numbers to ``(rule_id, column)`` suppressions.
+
+    Ids are returned verbatim (unvalidated); the engine decides which
+    are known.  Comment-looking text inside string literals is treated
+    as a comment too — the pattern is specific enough that this is the
+    conservative direction (a suppression that binds is visible in the
+    diff either way).
+    """
+    table: Dict[int, List[Tuple[str, int]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _SUPPRESS_RE.finditer(text):
+            entries = table.setdefault(lineno, [])
+            for raw in match.group(1).split(","):
+                rule_id = raw.strip()
+                if rule_id:
+                    entries.append((rule_id, match.start()))
+    return table
+
+
+__all__ = ["parse_suppressions"]

@@ -10,7 +10,7 @@ preemption until it returns to the steady state and releases it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)

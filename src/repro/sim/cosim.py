@@ -665,7 +665,10 @@ class _EventKernel:
             record = self.inflight.get(delivery.name)
             if record is None:
                 continue
-            if abs(delivery.release_time - record.release) <= 1e-9:
+            # Exact compare: both values are the same tick_index * period
+            # product, so a live interval matches bitwise and a stale one
+            # differs by at least a full period.
+            if delivery.release_time == record.release:
                 record.delivery = delivery.delivery_time
                 record.lost = delivery.lost
             # else: stale delivery from an interval already clamped

@@ -192,7 +192,7 @@ class PlantStepperBank:
         ``states`` is mutated with the post-interval states.
         """
         remaining = set(requests)
-        for key, members in self._groups.items():
+        for members in self._groups.values():
             due = [name for name in members if name in remaining]
             if not due:
                 continue

@@ -10,7 +10,7 @@ experience realistic (and worst-case-approaching) jitter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List
 
 from repro.flexray.frame import FrameSpec, Message
 from repro.utils.validation import check_nonnegative, check_positive

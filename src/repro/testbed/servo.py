@@ -20,7 +20,7 @@ characteristic non-monotonic dwell/wait relation of Figure 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -103,7 +103,7 @@ class TestSchedulerStopping:
             max_replications=10,
         )
         quiet, noisy = sched.cells
-        for _, r in sched.initial_grants():
+        for _ in sched.initial_grants():
             pass
         # quiet cell: identical values -> zero half-width -> stops
         quiet.record(_row(1.0))
@@ -170,7 +170,7 @@ class TestSchedulerStopping:
             max_replications=8,
         )
         (cell,) = sched.cells
-        for _, r in sched.initial_grants():
+        for _ in sched.initial_grants():
             pass
         cell.record(_row(100.0))
         cell.record(_row(102.0))

@@ -9,7 +9,7 @@ from repro.core.allocation import (
     make_analyzed,
     optimal_allocation,
 )
-from repro.core.schedulability import AnalyzedApplication, is_slot_schedulable
+from repro.core.schedulability import is_slot_schedulable
 from repro.core.timing_params import PAPER_TABLE_I, TimingParameters
 
 

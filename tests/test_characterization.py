@@ -1,15 +1,13 @@
 """Tests for the end-to-end characterisation pipeline."""
 
-import numpy as np
 import pytest
 
-from repro.control.plants import dc_motor_speed, servo_rig
+from repro.control.plants import dc_motor_speed
 from repro.core.characterization import (
     characterize_curve,
     characterize_plant,
     characterize_response_source,
 )
-from repro.core.pwl import DwellCurve
 
 
 class TestCharacterizeCurve:

@@ -1,6 +1,5 @@
 """Integration tests for the multi-application co-simulation."""
 
-import numpy as np
 import pytest
 
 from repro.control.controller import design_switched_application

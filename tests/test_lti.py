@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.control.lti import (
-    AugmentedStateSpace,
     ContinuousStateSpace,
     DelayedStateSpace,
     simulate_autonomous,

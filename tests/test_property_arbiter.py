@@ -87,7 +87,7 @@ class ArbiterMachine(RuleBasedStateMachine):
     def holder_never_queued(self):
         if not hasattr(self, "arbiter"):
             return
-        for slot, state in self.arbiter.slots.items():
+        for state in self.arbiter.slots.values():
             if state.holder is not None:
                 assert all(
                     c.name != state.holder.name for c in state.requesters

@@ -1,7 +1,6 @@
 """Property-based tests for the control substrate (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

@@ -1,7 +1,5 @@
 """Property-based tests for the FlexRay dynamic-segment arbitration."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ we happened to measure.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -11,7 +11,6 @@ from repro.core.pwl import (
     fit_conservative_monotonic,
     fit_two_segment,
     from_timing_parameters,
-    simple_monotonic,
     two_segment,
 )
 from repro.core.timing_params import paper_application

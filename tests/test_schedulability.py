@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.core.pwl import from_timing_parameters
 from repro.core.schedulability import (
     AnalyzedApplication,
     UnschedulableError,

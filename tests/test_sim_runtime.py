@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.arbiter import SlotClient, TTSlotArbiter
+from repro.sim.arbiter import TTSlotArbiter
 from repro.sim.runtime import CommState, SwitchingRuntime
 
 

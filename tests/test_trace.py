@@ -1,6 +1,5 @@
 """Unit tests for the trace recording utilities."""
 
-import numpy as np
 import pytest
 
 from repro.sim.runtime import CommState
