@@ -10,6 +10,15 @@ without downloading artifacts:
     python benchmarks/compare_bench.py            # diff vs HEAD
     python benchmarks/compare_bench.py --ref v1.0 # diff vs a tag
     python benchmarks/compare_bench.py BENCH_cosim.json  # one file only
+    python benchmarks/compare_bench.py --log BENCH_history.jsonl  # and append
+
+``--log PATH`` additionally appends every numeric leaf of the current
+artifacts to an append-only trajectory log — one JSON line per
+``(commit, artifact, key, value)`` — so the per-commit history of every
+benchmark metric accumulates in one greppable file instead of being
+reconstructed from ``git log -p``.  Lines already present for the same
+``(commit, artifact, key)`` are not rewritten, so re-running a CI job
+never duplicates history.
 
 The report is informational — CI wires it in as a non-blocking step
 (timings on shared runners are noisy; the *blocking* bars live in the
@@ -142,6 +151,62 @@ def compare_file(path: Path, ref: str, threshold: float):
     return failures
 
 
+def current_commit() -> str:
+    """Short hash of the checkout's HEAD (``unknown`` outside git)."""
+    proc = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip()
+
+
+def append_history(paths, log_path: Path, commit: str) -> int:
+    """Append the artifacts' numeric leaves to the trajectory log.
+
+    One JSON line per ``(commit, artifact, key, value)``; entries whose
+    ``(commit, artifact, key)`` is already logged are skipped, keeping
+    the log append-only and idempotent.  Returns the number of lines
+    appended.
+    """
+    seen = set()
+    if log_path.exists():
+        for line in log_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            seen.add((entry.get("commit"), entry.get("artifact"), entry.get("key")))
+    appended = 0
+    with log_path.open("a") as handle:
+        for path in paths:
+            if not path.exists():
+                continue
+            artifact = path.name
+            for key, value in flatten(json.loads(path.read_text())):
+                if (commit, artifact, key) in seen:
+                    continue
+                handle.write(
+                    json.dumps(
+                        {
+                            "commit": commit,
+                            "artifact": artifact,
+                            "key": key,
+                            "value": value,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                appended += 1
+    return appended
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -159,6 +224,19 @@ def main(argv=None) -> int:
         metavar="PCT",
         help="exit non-zero when a metric regresses by more than PCT percent",
     )
+    parser.add_argument(
+        "--log",
+        metavar="PATH",
+        default=None,
+        help="append (commit, artifact, key, value) JSONL lines for the "
+        "current artifacts to this trajectory log",
+    )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        metavar="SHA",
+        help="commit to stamp --log entries with (default: HEAD's short hash)",
+    )
     args = parser.parse_args(argv)
     if args.files:
         paths = [Path(f).resolve() for f in args.files]
@@ -173,6 +251,10 @@ def main(argv=None) -> int:
             print(f"\n== {path.name} == missing on disk, skipped")
             continue
         failures += compare_file(path, args.ref, args.fail_above)
+    if args.log is not None:
+        commit = args.commit or current_commit()
+        appended = append_history(paths, Path(args.log), commit)
+        print(f"\ntrajectory log {args.log}: +{appended} entr(ies) at {commit}")
     if failures and args.fail_above is not None:
         print(f"\n{failures} metric(s) regressed beyond {args.fail_above:g}%")
         return 1

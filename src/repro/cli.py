@@ -13,6 +13,9 @@ Usage::
     python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--seed N]
     python -m repro sweep [--scenario NAME] [--axis FIELD=V1,V2] [--replications N]
                           [--ci-target HW [--ci-relative] --max-replications N --budget N]
+                          [--fabric N [--worker-mode process] [--resume]]
+    python -m repro worker --connect HOST:PORT [--id NAME]
+    python -m repro serve [--host H] [--port P] [--pool-size N]
     python -m repro solvers
     python -m repro lint [paths ...] [--rule ID] [--json]
 
@@ -234,6 +237,10 @@ def _cmd_sweep(args):
                 f"e.g. --axis {name}={','.join(map(str, axes[name] + values))}"
             )
         axes[name] = values
+    if args.fabric is not None:
+        return _run_fabric_sweep_cmd(args, base, axes)
+    if args.resume:
+        raise ValueError("--resume needs --fabric (it resumes a fabric JSONL)")
     result = run_sweep(
         base,
         axes=axes,
@@ -252,6 +259,85 @@ def _cmd_sweep(args):
     if args.output:
         text += f"\nper-run JSONL streamed to {args.output}"
     return text, result.to_dict()
+
+
+def _run_fabric_sweep_cmd(args, base, axes):
+    """``repro sweep --fabric N``: run the grid on a local worker fleet.
+
+    Bitwise identical to the serial path on the same spec; ``--resume``
+    re-reads the ``--output`` JSONL as the done-set, so a killed sweep
+    continues where it stopped instead of recomputing landed rows.
+    """
+    from repro.fabric import run_fabric_sweep
+
+    if args.ci_target is not None or args.budget is not None or args.max_replications is not None:
+        raise ValueError(
+            "adaptive stopping (--ci-target/--max-replications/--budget) "
+            "needs round barriers and runs single-host; drop --fabric or "
+            "the adaptive flags"
+        )
+    if args.fabric < 1:
+        raise ValueError(f"--fabric needs at least 1 worker, got {args.fabric}")
+    if args.resume and not args.output:
+        raise ValueError("--resume needs --output (the JSONL to resume from)")
+    result = run_fabric_sweep(
+        base,
+        axes=axes,
+        replications=args.replications,
+        seed0=args.seed0,
+        workers=args.fabric,
+        worker_mode=args.worker_mode,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        jsonl_path=args.output,
+        resume_path=args.output if args.resume else None,
+        keep_results=False,
+    )
+    fabric = result.config.get("fabric", {})
+    text = result.report()
+    text += (
+        f"\nfabric: {args.fabric} {args.worker_mode} worker(s), "
+        f"{len(fabric.get('requeues', []))} requeue(s), "
+        f"{fabric.get('resumed', 0)} row(s) resumed"
+    )
+    if args.output:
+        text += f"\nper-run JSONL streamed to {args.output}"
+    return text, result.to_dict()
+
+
+def _cmd_worker(args):
+    """``repro worker --connect HOST:PORT``: one fabric worker loop."""
+    from repro.fabric import FabricWorker, parse_endpoint
+
+    host, port = parse_endpoint(args.connect)
+    worker = FabricWorker(
+        host,
+        port,
+        worker_id=args.id,
+        die_after=args.die_after,
+    )
+    done = worker.run()
+    text = f"{worker.worker_id}: {done} job(s) completed"
+    return text, {"worker": worker.worker_id, "jobs_done": done}
+
+
+def _cmd_serve(args):
+    """``repro serve``: run the content-addressed design-study service."""
+    from repro.fabric import StudyService
+
+    service = StudyService(host=args.host, port=args.port, pool_size=args.pool_size)
+    service.start()
+    # announce the bound endpoint up-front (port 0 means "pick one"),
+    # so scripts can read it before the server blocks
+    print(f"study service listening on {service.host}:{service.port}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    jobs = {job_id: record.snapshot() for job_id, record in service.jobs.items()}
+    return f"study service stopped after {len(jobs)} job(s)", {"jobs": jobs}
 
 
 def _cmd_lint(args):
@@ -529,6 +615,84 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream one JSON line per finished run to this file",
     )
+    p_sweep.add_argument(
+        "--fabric",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the grid on a local fleet of N fabric workers "
+        "(content-addressed jobs; bitwise identical to the serial path)",
+    )
+    p_sweep.add_argument(
+        "--worker-mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="fabric worker kind (process = real subprocesses over TCP)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        default=False,
+        help="adopt finished rows from the --output JSONL before "
+        "dispatching (worker-failed rows are retried)",
+    )
+    p_sweep.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="fabric: seconds a leased job may go without result or "
+        "heartbeat before re-queueing (default 30)",
+    )
+    p_sweep.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="fabric: lease attempts per job before it is recorded as a "
+        "worker failure (default 3)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        parents=[common],
+        help="fabric worker: lease sweep jobs from a coordinator",
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator endpoint to lease jobs from",
+    )
+    p_worker.add_argument(
+        "--id", default=None, metavar="NAME", help="worker id (default pid-derived)"
+    )
+    p_worker.add_argument(
+        "--die-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: drop the connection when leasing job N+1",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="content-addressed design-study service (submit/status/fetch)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="bind port (default 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=2,
+        metavar="N",
+        help="study executor threads (default 2)",
+    )
 
     sub.add_parser(
         "solvers",
@@ -582,6 +746,8 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "study": _cmd_study,
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
+    "serve": _cmd_serve,
     "solvers": _cmd_solvers,
     "lint": _cmd_lint,
     "all": _cmd_all,

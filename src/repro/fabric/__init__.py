@@ -1,0 +1,67 @@
+"""Distributed sweep fabric and content-addressed study service.
+
+``repro.fabric`` moves the pipeline's work across processes and hosts
+without changing a single bit of it:
+
+* :mod:`~repro.fabric.protocol` — the line-JSON wire format both
+  planes share (:data:`~repro.fabric.protocol.MESSAGE_TYPES`);
+* :mod:`~repro.fabric.store` — the content-addressed result store
+  (one row per ``fingerprint+seed`` address) behind dedup and resume;
+* :mod:`~repro.fabric.coordinator` — sweep decomposition, leases with
+  heartbeat/timeout re-queueing, deterministic merge
+  (:func:`~repro.fabric.coordinator.run_fabric_sweep` is the drop-in
+  distributed twin of :func:`~repro.pipeline.sweep.run_sweep`);
+* :mod:`~repro.fabric.worker` — the lease-run-report loop
+  (``repro worker``), including fleet-wide dwell-cache sharing;
+* :mod:`~repro.fabric.service` — the long-lived study endpoint
+  (``repro serve``) with submit/status/fetch and a scenario-hash
+  result cache.
+
+Everything here may legitimately read wall-clock time (leases,
+timeouts, job timestamps) — the determinism lint (QA002) exempts this
+package for exactly that reason; simulation code still may not.
+"""
+
+from repro.fabric.coordinator import (
+    FabricTimeout,
+    SweepCoordinator,
+    run_fabric_sweep,
+)
+from repro.fabric.protocol import (
+    MESSAGE_TYPES,
+    LineChannel,
+    ProtocolError,
+    connect,
+    make_msg,
+    parse_endpoint,
+)
+from repro.fabric.service import (
+    JOB_STATES,
+    JobRecord,
+    ServiceClient,
+    StudyService,
+    sweep_address,
+)
+from repro.fabric.store import ResultStore
+from repro.fabric.worker import FabricWorker, WorkerDied, spawn_worker_process
+
+__all__ = [
+    "FabricTimeout",
+    "FabricWorker",
+    "JOB_STATES",
+    "JobRecord",
+    "LineChannel",
+    "MESSAGE_TYPES",
+    "ProtocolError",
+    "ResultStore",
+    "ServiceClient",
+    "StudyService",
+    "SweepCoordinator",
+    "WorkerDied",
+    "connect",
+    "make_msg",
+    "parse_endpoint",
+    "run_fabric_sweep",
+    "spawn_worker_process",
+    "sweep_address",
+]

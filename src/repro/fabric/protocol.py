@@ -1,0 +1,131 @@
+"""Line-delimited-JSON wire protocol shared by every fabric endpoint.
+
+One message is one JSON object on one ``\\n``-terminated UTF-8 line;
+every message carries a ``type`` drawn from :data:`MESSAGE_TYPES`.  The
+same framing serves both fabric roles:
+
+* **sweep plane** (worker ⇄ coordinator): ``hello``, ``lease`` /
+  ``job`` / ``wait`` / ``shutdown``, ``heartbeat``, ``result``;
+* **service plane** (client ⇄ study service): ``submit``, ``status``,
+  ``fetch``, answered by ``ok`` / ``error``.
+
+Scenarios travel as their ``to_dict()`` JSON (workers never need the
+registry), and dwell-cache entries ride along as pickled-and-armoured
+strings (:func:`repro.pipeline.cache.encode_entries`).  ``make_msg`` /
+``send_msg`` validate the message kind against :data:`MESSAGE_TYPES` at
+runtime, and ``repro lint`` (QA004) resolves kind *literals* against
+the same tuple at lint time, so a typo'd message type fails in CI
+rather than as a mid-sweep protocol error.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+#: Every message kind either fabric plane may put on the wire.
+MESSAGE_TYPES = (
+    # sweep plane
+    "hello",
+    "lease",
+    "job",
+    "wait",
+    "shutdown",
+    "heartbeat",
+    "result",
+    # service plane
+    "submit",
+    "status",
+    "fetch",
+    # replies
+    "ok",
+    "error",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or unknown-kind message crossed the wire."""
+
+
+def make_msg(kind: str, **fields: Any) -> Dict[str, Any]:
+    """A validated protocol message as a plain dict."""
+    if kind not in MESSAGE_TYPES:
+        raise ProtocolError(
+            f"unknown message type {kind!r}; expected one of {list(MESSAGE_TYPES)}"
+        )
+    if "type" in fields:
+        raise ProtocolError("'type' is set from the kind argument")
+    return {"type": kind, **fields}
+
+
+class LineChannel:
+    """One socket wrapped for line-JSON messaging.
+
+    Writes are serialised under a lock so a heartbeat thread can share
+    the channel with the main job loop; reads are expected from a
+    single thread.  ``recv_msg`` returns ``None`` on a clean EOF — the
+    peer hung up — which the coordinator treats as worker death.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._wlock = threading.Lock()
+
+    def send_msg(self, kind: str, **fields: Any) -> None:
+        payload = json.dumps(
+            make_msg(kind, **fields), separators=(",", ":")
+        )
+        data = (payload + "\n").encode("utf-8")
+        with self._wlock:
+            self._sock.sendall(data)
+
+    def recv_msg(self) -> Optional[Dict[str, Any]]:
+        line = self._rfile.readline()
+        if not line:
+            return None
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"undecodable message line: {exc}") from None
+        if not isinstance(msg, dict) or msg.get("type") not in MESSAGE_TYPES:
+            raise ProtocolError(f"message without a known type: {line!r}")
+        return msg
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect(host: str, port: int, timeout: Optional[float] = None) -> LineChannel:
+    """Dial a fabric endpoint and wrap the socket as a channel."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return LineChannel(sock)
+
+
+def parse_endpoint(text: str) -> tuple:
+    """``"host:port"`` → ``(host, port)`` with a friendly error."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"bad endpoint {text!r}; expected HOST:PORT, e.g. 127.0.0.1:7465"
+        )
+    return host, int(port)
+
+
+__all__ = [
+    "LineChannel",
+    "MESSAGE_TYPES",
+    "ProtocolError",
+    "connect",
+    "make_msg",
+    "parse_endpoint",
+]

@@ -1,0 +1,100 @@
+"""Content-addressed result store backing the sweep coordinator.
+
+Each entry is one finished replication row keyed by the scenario's
+content address (``fingerprint+seed``,
+:meth:`~repro.pipeline.scenario.Scenario.content_address`).  The
+address is the whole identity: a row computed on any worker, in any
+run, satisfies every job with the same address, which is what makes
+reruns cache hits and killed sweeps resumable.
+
+:meth:`ResultStore.load_jsonl` rebuilds the done-set from a streamed
+sweep JSONL (both :func:`~repro.pipeline.sweep.run_sweep` and the
+fabric write ``address`` on every row).  Rows whose
+``failed_stage == "worker"`` are *not* adopted: a worker-transport
+failure says nothing about the scenario, so resuming retries those
+jobs — whereas domain failures (infeasible allocation, overload) are
+deterministic and reusable like any other row.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class ResultStore:
+    """In-memory map of content address → finished row."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._rows
+
+    def get(self, address: str) -> Optional[Dict[str, Any]]:
+        return self._rows.get(address)
+
+    def put(self, address: str, row: Dict[str, Any]) -> bool:
+        """Adopt ``row`` for ``address``; returns False when the address
+        is already filled (the newcomer — e.g. a zombie worker's late
+        duplicate — is dropped, keeping the store one-row-per-address)."""
+        if address in self._rows:
+            return False
+        self._rows[address] = row
+        return True
+
+    def lookup(self, address: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but counts a hit when the row exists."""
+        row = self._rows.get(address)
+        if row is not None:
+            self.hits += 1
+        return row
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return list(self._rows.values())
+
+    def load_jsonl(
+        self,
+        path: str,
+        wanted: Optional[Iterable[str]] = None,
+    ) -> Tuple[int, int]:
+        """Rebuild the done-set from a sweep JSONL stream.
+
+        Adopts every addressed, non-worker-failed row (optionally
+        restricted to the ``wanted`` addresses of the sweep being
+        resumed, so a shared log cannot leak foreign rows in).  Returns
+        ``(adopted, skipped)`` where ``skipped`` counts worker-failure
+        rows deliberately left for a retry.  Unreadable lines raise —
+        a corrupt resume log should stop the sweep, not silently
+        recompute everything.
+        """
+        adopted = 0
+        skipped = 0
+        wanted_set = None if wanted is None else set(wanted)
+        text = Path(path).read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: unreadable resume row: {exc}"
+                ) from None
+            address = row.get("address")
+            if address is None or (wanted_set is not None and address not in wanted_set):
+                continue
+            if row.get("failed_stage") == "worker":
+                skipped += 1
+                continue
+            if self.put(address, row):
+                adopted += 1
+        return adopted, skipped
+
+
+__all__ = ["ResultStore"]

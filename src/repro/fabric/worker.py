@@ -1,0 +1,192 @@
+"""Fabric worker: lease jobs, run studies, ship rows and cache entries.
+
+A worker is a thin loop around the same :class:`DesignStudy` engine the
+serial sweep uses — given the identical scenario and seed it produces
+the identical :class:`StudyResult`, which is the whole bitwise-parity
+story: the fabric only moves work, it never changes it.
+
+Per job the worker:
+
+1. merges the coordinator-shipped dwell-cache delta into its local
+   cache (fleet-wide sharing, PR 3's ``merge_entries`` seam);
+2. heartbeats on a side thread every ``lease_timeout / 3`` so a slow
+   study keeps its lease while a dead process loses it;
+3. runs the study and sends the result row back together with the
+   dwell entries it newly measured (``export_entries`` minus what it
+   already knows the coordinator has).
+
+``die_after=N`` makes the worker abruptly drop its connection when it
+leases its ``N+1``-th job — the fault-injection hook the kill/resume
+tests and the CI smoke job use to exercise re-queueing.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.fabric.protocol import LineChannel, connect
+from repro.pipeline.cache import (
+    DwellCurveCache,
+    GLOBAL_DWELL_CACHE,
+    decode_entries,
+    encode_entries,
+)
+from repro.pipeline.runner import DesignStudy
+from repro.pipeline.scenario import Scenario
+
+
+class WorkerDied(RuntimeError):
+    """Raised by the ``die_after`` fault-injection hook."""
+
+
+class FabricWorker:
+    """One worker process/thread's connection to a sweep coordinator."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        worker_id: Optional[str] = None,
+        cache: Optional[DwellCurveCache] = None,
+        die_after: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id or f"worker-{os.getpid()}-{id(self) & 0xFFFF:04x}"
+        self.cache = cache if cache is not None else GLOBAL_DWELL_CACHE
+        self.die_after = die_after
+        self.jobs_done = 0
+        self._shipped: set = set()
+        self._channel: Optional[LineChannel] = None
+
+    def run(self) -> int:
+        """Lease-and-run until the coordinator says ``shutdown``.
+
+        Returns the number of jobs completed.  ``die_after`` exits by
+        dropping the socket mid-lease (simulated crash), leaving the
+        leased job for the coordinator to re-queue.
+        """
+        self._channel = connect(self.host, self.port)
+        try:
+            self._channel.send_msg("hello", worker=self.worker_id)
+            hello_ack = self._channel.recv_msg()
+            if hello_ack is None:
+                return self.jobs_done
+            while True:
+                self._channel.send_msg("lease", worker=self.worker_id)
+                msg = self._channel.recv_msg()
+                if msg is None or msg["type"] == "shutdown":
+                    break
+                if msg["type"] == "wait":
+                    threading.Event().wait(float(msg.get("retry_after", 0.05)))
+                    continue
+                if msg["type"] != "job":
+                    continue
+                if self.die_after is not None and self.jobs_done >= self.die_after:
+                    # simulated crash: vanish without releasing the lease
+                    raise WorkerDied(
+                        f"{self.worker_id} died after {self.jobs_done} job(s)"
+                    )
+                self._run_job(msg)
+                self.jobs_done += 1
+        except WorkerDied:
+            pass
+        finally:
+            self._channel.close()
+            self._channel = None
+        return self.jobs_done
+
+    def _run_job(self, msg: dict) -> None:
+        channel = self._channel
+        assert channel is not None
+        address = msg["job_id"]
+        attempt = msg.get("attempt")
+        blob = msg.get("cache")
+        if blob:
+            entries = decode_entries(blob)
+            self.cache.merge_entries(entries)
+            self._shipped.update(entries)
+        scenario = Scenario.from_dict(msg["scenario"])
+        lease_timeout = float(msg.get("lease_timeout", 30.0))
+
+        stop_beat = threading.Event()
+
+        def _heartbeat() -> None:
+            while not stop_beat.wait(lease_timeout / 3.0):
+                try:
+                    channel.send_msg(
+                        "heartbeat", worker=self.worker_id, job_id=address
+                    )
+                except OSError:
+                    return
+
+        beat = threading.Thread(
+            target=_heartbeat, name=f"{self.worker_id}-heartbeat", daemon=True
+        )
+        beat.start()
+        error: Optional[str] = None
+        result_dict = None
+        exports_blob = None
+        try:
+            try:
+                result = DesignStudy(scenario, cache=self.cache).run()
+            except Exception as exc:  # non-domain crash: report, don't die
+                error = repr(exc)
+            else:
+                result = result.with_provenance(
+                    worker=self.worker_id, attempt=attempt
+                )
+                result_dict = result.to_dict()
+                exports = self.cache.export_entries(exclude=self._shipped)
+                if exports:
+                    self._shipped.update(exports)
+                    exports_blob = encode_entries(exports)
+        finally:
+            stop_beat.set()
+        channel.send_msg(
+            "result",
+            worker=self.worker_id,
+            job_id=address,
+            attempt=attempt,
+            result=result_dict,
+            error=error,
+            cache=exports_blob,
+        )
+
+
+def spawn_worker_process(
+    host: str,
+    port: int,
+    *,
+    worker_id: Optional[str] = None,
+    die_after: Optional[int] = None,
+) -> subprocess.Popen:
+    """Launch ``python -m repro worker --connect host:port`` as a child.
+
+    The child gets ``PYTHONPATH`` pointing at this package's ``src``
+    tree so the CLI resolves regardless of the caller's cwd.
+    """
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [sys.executable, "-m", "repro", "worker", "--connect", f"{host}:{port}"]
+    if worker_id:
+        cmd += ["--id", worker_id]
+    if die_after is not None:
+        cmd += ["--die-after", str(die_after)]
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+__all__ = ["FabricWorker", "WorkerDied", "spawn_worker_process"]

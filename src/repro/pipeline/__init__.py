@@ -58,10 +58,15 @@ from repro.pipeline.serialize import to_jsonable
 from repro.pipeline.stages import STAGE_ORDER, StageRecord, StudyContext
 from repro.pipeline.sweep import (
     CellStats,
+    SweepJob,
     SweepResult,
+    crash_row,
     expand_cells,
     expand_sweep,
+    fixed_jobs,
+    merge_rows,
     run_sweep,
+    study_row,
 )
 
 __all__ = [
@@ -87,10 +92,15 @@ __all__ = [
     "StudyAttachments",
     "StudyContext",
     "StudyResult",
+    "SweepJob",
     "SweepResult",
+    "crash_row",
     "expand_cells",
     "expand_sweep",
+    "fixed_jobs",
     "get_scenario",
+    "merge_rows",
+    "study_row",
     "register_scenario",
     "run_many",
     "run_study",

@@ -15,7 +15,10 @@ block on one in-flight measurement instead of duplicating it.
 
 from __future__ import annotations
 
+import base64
+import pickle
 import threading
+import zlib
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -225,6 +228,24 @@ class DwellCurveCache:
         )[0]
 
 
+def encode_entries(entries: Dict[Tuple, object]) -> str:
+    """Pack :meth:`DwellCurveCache.export_entries` output for the wire.
+
+    The sweep fabric ships dwell-cache entries between coordinator and
+    workers inside line-delimited JSON messages; measurements carry
+    numpy arrays and nested dataclasses, so the payload is pickled,
+    compressed, and base64-armoured into a JSON-safe string.
+    """
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL))
+    ).decode("ascii")
+
+
+def decode_entries(blob: str) -> Dict[Tuple, object]:
+    """Inverse of :func:`encode_entries`; feed to :meth:`merge_entries`."""
+    return pickle.loads(zlib.decompress(base64.b64decode(blob.encode("ascii"))))
+
+
 def _measure_plant(
     plant_name: str, et_detuning: float, wait_step: int
 ) -> MeasuredApplication:
@@ -282,4 +303,6 @@ __all__ = [
     "MeasuredApplication",
     "ServoMeasurement",
     "TT_DELAY",
+    "decode_entries",
+    "encode_entries",
 ]

@@ -15,6 +15,7 @@ from comparison and serialisation.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -91,6 +92,21 @@ class StudyResult:
                     f"{record.name!r}: {record.detail}"
                 )
         return self
+
+    def with_provenance(self, **extra: Any) -> "StudyResult":
+        """A copy with ``extra`` merged into the provenance record.
+
+        The sweep fabric uses this to tag execution metadata that is a
+        property of *where* the study ran, not what it computed: the
+        reserved keys are ``worker`` (fabric worker id), ``attempt``
+        (1-based lease attempt), and ``cache_hit`` (the result was
+        served from a content-addressed store without re-running).
+        Stage artifacts are untouched, so provenance never perturbs the
+        bitwise parity of result rows.
+        """
+        return dataclasses.replace(
+            self, provenance={**self.provenance, **extra}
+        )
 
     # -- serialisation ----------------------------------------------------
 

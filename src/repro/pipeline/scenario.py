@@ -13,6 +13,7 @@ to batch executors.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -208,6 +209,32 @@ class Scenario:
         data["apps"] = list(self.apps) if self.apps is not None else None
         data["bus"] = self.bus.to_dict() if self.bus is not None else None
         return data
+
+    def fingerprint(self) -> str:
+        """Semantic hash of the scenario, blind to labels and seed.
+
+        Two scenarios share a fingerprint exactly when they describe the
+        same computation: ``name`` and ``description`` are excluded (a
+        rename must not bust result caches) and so is ``seed`` —
+        replication machinery pairs the fingerprint with an explicit
+        seed via :meth:`content_address`.
+        """
+        data = self.to_dict()
+        data.pop("name")
+        data.pop("description")
+        data.pop("seed")
+        blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def content_address(self) -> str:
+        """``fingerprint+seed`` — the identity of one simulated row.
+
+        This is the sweep fabric's cache key: a result row computed for
+        this address is valid for *any* job with the same address, on
+        any host, in any run, so reruns are cache hits and resumed
+        sweeps can skip everything already on disk.
+        """
+        return f"{self.fingerprint()}+{int(self.seed)}"
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Scenario":

@@ -122,13 +122,132 @@ def expand_sweep(
     ]
 
 
-def _study_row(cell: str, result: StudyResult, round_no: int) -> Dict[str, Any]:
-    """One JSONL record / aggregation input per finished study."""
+@dataclass(frozen=True)
+class SweepJob:
+    """One schedulable replication of a fixed sweep grid.
+
+    ``index`` is the job's position in the dispatch order (the order
+    serial :func:`run_sweep` would execute), ``address`` its content
+    address — the fabric's cache / dedup / resume key.
+    """
+
+    index: int
+    cell_index: int
+    cell: str
+    rep: int
+    scenario: Scenario
+    address: str
+
+
+def fixed_jobs(
+    base: Union[Scenario, str],
+    axes: Optional[Dict[str, Sequence[Any]]] = None,
+    replications: int = 1,
+    seed0: int = 0,
+) -> List[SweepJob]:
+    """Decompose a fixed grid into content-addressed jobs.
+
+    Jobs come out in the same replication-major dispatch order the
+    :class:`~repro.pipeline.adaptive.AdaptiveScheduler` grants a fixed
+    sweep (cell 0 rep 0, cell 1 rep 0, ..., cell 0 rep 1, ...), so a
+    distributed executor that merges rows back in ``index`` order
+    reproduces serial :func:`run_sweep` bit for bit.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    cells = expand_cells(base, axes)
+    jobs: List[SweepJob] = []
+    for r in range(replications):
+        for cell_index, (name, cell) in enumerate(cells):
+            scenario = _replication_scenario(cell, seed0, r)
+            jobs.append(
+                SweepJob(
+                    index=len(jobs),
+                    cell_index=cell_index,
+                    cell=name,
+                    rep=r,
+                    scenario=scenario,
+                    address=scenario.content_address(),
+                )
+            )
+    return jobs
+
+
+def merge_rows(
+    base: Union[Scenario, str],
+    cells: Sequence[Tuple[str, Scenario]],
+    rows: Sequence[Dict[str, Any]],
+    *,
+    executor: str,
+    elapsed: float,
+    results: Sequence[StudyResult] = (),
+    config: Optional[Dict[str, Any]] = None,
+) -> SweepResult:
+    """Fold result rows (in dispatch order) into a fixed-mode
+    :class:`SweepResult`.
+
+    This is the aggregation half of :func:`run_sweep`, split out so the
+    sweep fabric — which collects rows from remote workers in whatever
+    order they land — can re-impose the deterministic job order and
+    produce per-cell statistics bitwise identical to a serial run.
+    """
+    if isinstance(base, str):
+        from repro.pipeline.registry import get_scenario
+
+        base = get_scenario(base)
+    states = [
+        CellState(name, scenario, index)
+        for index, (name, scenario) in enumerate(cells)
+    ]
+    by_name = {state.name: state for state in states}
+    for row in rows:
+        by_name[row["cell"]].record(row)
+    for state in states:
+        state.stopped_reason = "fixed"
+    cell_stats = [
+        CellStats(
+            name=state.name,
+            runs=state.attempts,
+            failures=state.failures,
+            deadlines_met_rate=state.deadlines_met_rate(),
+            metrics={
+                metric: acc.to_dict()
+                for metric, acc in state.stats.items()
+                if acc.n > 0
+            },
+            stopped_reason=state.stopped_reason,
+            rounds=state.rounds,
+            saved=0,
+        )
+        for state in states
+    ]
+    return SweepResult(
+        base=base,
+        executor=executor,
+        elapsed=elapsed,
+        rows=list(rows),
+        cells=cell_stats,
+        results=list(results),
+        mode="fixed",
+        rounds=1,
+        config=dict(config or {}),
+    )
+
+
+def study_row(cell: str, result: StudyResult, round_no: int) -> Dict[str, Any]:
+    """One JSONL record / aggregation input per finished study.
+
+    Every row carries the scenario's content address
+    (:meth:`~repro.pipeline.scenario.Scenario.content_address`), so a
+    streamed JSONL doubles as a content-addressed done-set: the fabric
+    coordinator's ``--resume`` rebuilds its store from these lines.
+    """
     cosim = result.stage("cosim")
     row: Dict[str, Any] = {
         "cell": cell,
         "scenario": result.scenario.name,
         "seed": result.scenario.seed,
+        "address": result.scenario.content_address(),
         "round": round_no,
         "ok": result.ok,
         "duration": result.duration,
@@ -157,16 +276,19 @@ def _study_row(cell: str, result: StudyResult, round_no: int) -> Dict[str, Any]:
     return row
 
 
-def _crash_row(
+def crash_row(
     cell: str, scenario: Scenario, round_no: int, exc: BaseException
 ) -> Dict[str, Any]:
     """Synthetic failed row for a replication that died *inside* the
     pool (worker crash, pickling error, non-domain exception) — the
-    sweep keeps aggregating instead of losing every landed row."""
+    sweep keeps aggregating instead of losing every landed row.  The
+    fabric coordinator reuses it for jobs whose lease expired past the
+    attempt cap, so dead remote workers land in the same accounting."""
     return {
         "cell": cell,
         "scenario": scenario.name,
         "seed": scenario.seed,
+        "address": scenario.content_address(),
         "round": round_no,
         "ok": False,
         "duration": None,
@@ -287,15 +409,17 @@ class SweepResult:
         return f"{head}\n{table}"
 
 
-def _open_jsonl(jsonl_path: Optional[str]) -> Optional[IO[str]]:
+def open_jsonl(jsonl_path: Optional[str], mode: str = "w") -> Optional[IO[str]]:
     """UTF-8 stream with parent directories created on demand, so
-    ``repro sweep -o out/rows.jsonl`` works on a fresh checkout."""
+    ``repro sweep -o out/rows.jsonl`` works on a fresh checkout.
+    The fabric coordinator appends (``mode="a"``) when resuming, so the
+    done-set it just adopted is not clobbered."""
     if jsonl_path is None:
         return None
     path = Path(jsonl_path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
-    return path.open("w", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 def run_sweep(
@@ -386,7 +510,7 @@ def run_sweep(
     started = time.perf_counter()
     rows: List[Dict[str, Any]] = []
     results: List[StudyResult] = []
-    writer = _open_jsonl(jsonl_path)
+    writer = open_jsonl(jsonl_path)
     pool: Optional[Executor] = None
     round_no = 0
     try:
@@ -473,11 +597,11 @@ def _run_round(
     def land(index: int, result: Optional[StudyResult], exc: Optional[BaseException]):
         cell, scenario = prepared[index]
         if exc is not None:
-            row = _crash_row(cell.name, scenario, round_no, exc)
+            row = crash_row(cell.name, scenario, round_no, exc)
             outcomes[index] = (row, None)
         else:
             assert result is not None
-            row = _study_row(cell.name, result, round_no)
+            row = study_row(cell.name, result, round_no)
             outcomes[index] = (row, result)
         if writer is not None:
             writer.write(json.dumps(to_jsonable(row)) + "\n")
@@ -530,8 +654,13 @@ def _run_round(
 __all__ = [
     "CellStats",
     "METRICS",
+    "SweepJob",
     "SweepResult",
+    "crash_row",
     "expand_cells",
     "expand_sweep",
+    "fixed_jobs",
+    "merge_rows",
     "run_sweep",
+    "study_row",
 ]

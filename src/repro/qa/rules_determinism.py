@@ -131,9 +131,20 @@ class WallClockRule(Rule):
         "Simulated time is integer-ns event time; reading the host clock "
         "inside repro.sim / repro.flexray / repro.solvers couples results "
         "to the machine and to NTP steps.  Duration timing belongs in the "
-        "pipeline/benchmark layer and uses time.perf_counter()."
+        "pipeline/benchmark layer and uses time.perf_counter().  The "
+        "fabric layer is exempt: leases, heartbeats and job timestamps "
+        "are about real machines, not simulated ones."
     )
-    scope = ("repro.sim", "repro.flexray", "repro.solvers")
+    scope = (
+        "repro.sim",
+        "repro.flexray",
+        "repro.solvers",
+        "repro.pipeline",
+        "repro.fabric",
+    )
+    #: Distributed-coordination code legitimately reads the host clock
+    #: (lease deadlines, submitted_at stamps); results stay seeded.
+    allow_modules = ("repro.fabric",)
     node_types = (ast.Call,)
 
     def visit(self, node: ast.Call, ctx: ModuleContext) -> Iterator[Finding]:

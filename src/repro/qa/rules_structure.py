@@ -26,6 +26,11 @@ _FIRST_ARG_KINDS = {
     "get_allocator": "allocator",
     "allocate": "allocator",
     "get_analysis_method": "analysis method",
+    # fabric wire protocol: make_msg("lease", ...) / channel.send_msg("job", ...)
+    "make_msg": "fabric message",
+    "send_msg": "fabric message",
+    # study-service job lifecycle: record.advance("running")
+    "advance": "job state",
 }
 
 #: Keyword arguments of Scenario(...) / .derive(...) checked against a
@@ -92,6 +97,8 @@ class RegistryLiteralRule(Rule):
                     NETWORKS,
                     SOURCES,
                 )
+                from repro.fabric.protocol import MESSAGE_TYPES
+                from repro.fabric.service import JOB_STATES
                 from repro.pipeline.stages import STAGE_ORDER
                 from repro.solvers import allocator_names, analysis_method_names
 
@@ -105,6 +112,8 @@ class RegistryLiteralRule(Rule):
                     "disturbance": frozenset(DISTURBANCES),
                     "dwell_shape": frozenset(DWELL_SHAPES),
                     "stage": frozenset(STAGE_ORDER),
+                    "fabric message": frozenset(MESSAGE_TYPES),
+                    "job state": frozenset(JOB_STATES),
                 }
             except Exception:
                 cls._REGISTRIES = {}

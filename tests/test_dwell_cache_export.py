@@ -1,0 +1,100 @@
+"""Round-trip tests for the dwell-cache export/merge seam and the
+fabric wire codec built on it.
+
+The fleet-wide cache sharing story is: a worker measures, exports the
+delta (``export_entries(exclude=<already shipped>)``), the blob crosses
+the socket via ``encode_entries``/``decode_entries``, and the receiver
+``merge_entries`` it — after which the measurement serves lookups there
+without re-running.  These tests pin every leg of that trip, including
+the ``exclude`` frozenset default.
+"""
+
+import pytest
+
+from repro.pipeline.cache import (
+    DwellCurveCache,
+    decode_entries,
+    encode_entries,
+)
+
+
+@pytest.fixture
+def measured_cache():
+    cache = DwellCurveCache()
+    cache.measurement("servo-rig", 1000.0, wait_step=16)
+    cache.measurement("throttle-by-wire", 800.0, wait_step=16)
+    return cache
+
+
+class TestExportMergeRoundTrip:
+    def test_export_merge_preserves_entries_and_serves_hits(self, measured_cache):
+        entries = measured_cache.export_entries()
+        assert set(entries) == measured_cache.keys_snapshot()
+        target = DwellCurveCache()
+        assert target.merge_entries(entries) == 2
+        assert target.keys_snapshot() == measured_cache.keys_snapshot()
+        # merged entries answer without re-measuring
+        merged = target.measurement("servo-rig", 1000.0, wait_step=16)
+        assert target.hits == 1 and target.misses == 0
+        # in-process export hands over the very same measurement object
+        assert merged is measured_cache.measurement("servo-rig", 1000.0, wait_step=16)
+
+    def test_exclude_default_is_empty_frozenset(self, measured_cache):
+        # the default export ships everything; an explicit empty
+        # frozenset is the same call
+        assert measured_cache.export_entries() == measured_cache.export_entries(
+            exclude=frozenset()
+        )
+
+    def test_exclude_frozenset_filters_shipped_keys(self, measured_cache):
+        shipped = frozenset(
+            key for key in measured_cache.keys_snapshot() if "servo-rig" in key
+        )
+        fresh = measured_cache.export_entries(exclude=shipped)
+        assert len(fresh) == 1
+        assert all("servo-rig" not in key for key in fresh)
+        # excluding everything ships nothing
+        assert (
+            measured_cache.export_entries(
+                exclude=frozenset(measured_cache.keys_snapshot())
+            )
+            == {}
+        )
+
+    def test_merge_is_idempotent(self, measured_cache):
+        entries = measured_cache.export_entries()
+        target = DwellCurveCache()
+        assert target.merge_entries(entries) == 2
+        assert target.merge_entries(entries) == 0
+        assert len(target) == 2
+
+
+class TestWireCodec:
+    def test_encode_decode_round_trip(self, measured_cache):
+        entries = measured_cache.export_entries()
+        blob = encode_entries(entries)
+        # the blob is a JSON-safe ASCII string — it rides a line-JSON
+        # message without escaping trouble
+        assert isinstance(blob, str) and blob.isascii() and "\n" not in blob
+        decoded = decode_entries(blob)
+        assert set(decoded) == set(entries)
+
+    def test_decoded_entries_merge_and_serve(self, measured_cache):
+        blob = encode_entries(measured_cache.export_entries())
+        target = DwellCurveCache()
+        assert target.merge_entries(decode_entries(blob)) == 2
+        target.measurement("throttle-by-wire", 800.0, wait_step=16)
+        assert target.hits == 1 and target.misses == 0
+
+    def test_empty_payload_round_trips(self):
+        assert decode_entries(encode_entries({})) == {}
+
+    def test_excluded_delta_round_trips(self, measured_cache):
+        # the exact combination the fabric uses on every result message
+        shipped = frozenset(
+            key for key in measured_cache.keys_snapshot() if "servo-rig" in key
+        )
+        delta = decode_entries(
+            encode_entries(measured_cache.export_entries(exclude=shipped))
+        )
+        assert len(delta) == 1 and all("servo-rig" not in key for key in delta)
