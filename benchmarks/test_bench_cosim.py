@@ -1,21 +1,24 @@
-"""Benchmark — co-simulation throughput (ISSUE 3 tentpole, ISSUE 5 kernels).
+"""Benchmark — co-simulation throughput (ISSUE 3 tentpole, ISSUE 5/8 kernels).
 
 Times a 32-scenario Monte-Carlo co-simulation grid (the Figure 5 fleet,
 sporadic disturbances, FlexRay frame loss, seeds 0..31) through
-``run_many`` with thread workers vs a process pool, plus a **three-way
-kernel shoot-out** (legacy fixed-step loop / event kernel / batched
-analytic fast path) on the fig5 analytic scenario, and writes the
-numbers to ``BENCH_cosim.json`` at the repository root.
+``run_many`` with thread workers vs a process pool, plus two **three-way
+kernel shoot-outs** (legacy fixed-step loop / event kernel / batch fast
+path) — one on the fig5 analytic scenario and one on the loss-free
+cycle-accurate FlexRay fig5 fleet, where the batch kernel precomputes
+the static-segment schedule — and writes the numbers to
+``BENCH_cosim.json`` at the repository root.
 
 The co-simulation loop is pure Python, so thread workers serialize on
 the GIL; the process pool is the scaling path.  The ``>= 2x`` speedup
 acceptance bar is asserted only where it is physically possible
 (``cpu_count >= 4``) — the JSON records the honest measurement either
 way, including the core count it was taken on.  The kernel bars
-(event/legacy ratio ``<= 1.05``, batch speedup ``>= 3x`` over legacy)
-are asserted outside smoke mode, where horizons are long enough for the
-ratios to mean something; the traces-bitwise-identical cross-check runs
-in every mode.
+(event/legacy ratio ``<= 1.05``, analytic batch speedup ``>= 3x`` over
+legacy, FlexRay batch speedup ``>= 2x`` over event) are asserted
+outside smoke mode, where horizons are long enough for the ratios to
+mean something; the traces-bitwise-identical cross-checks run in every
+mode.
 
 Smoke mode for CI: set ``REPRO_COSIM_BENCH_SMOKE=1`` to shrink the grid
 and horizon so the job finishes in seconds while still exercising both
@@ -79,6 +82,14 @@ def test_bench_cosim_grid_thread_vs_process():
     )
     assert kernels.traces_identical
 
+    flexray_kernels = run_kernel_ablation(
+        wait_step=WAIT_STEP,
+        horizon=HORIZON,
+        repeats=1 if _SMOKE else 3,
+        scenario="fig5-cosim",
+    )
+    assert flexray_kernels.traces_identical
+
     speedup = thread_seconds / process_seconds if process_seconds else float("inf")
     payload = {
         "benchmark": "cosim-throughput",
@@ -104,6 +115,20 @@ def test_bench_cosim_grid_thread_vs_process():
             "batch_speedup_vs_legacy": round(kernels.batch_speedup_vs_legacy, 3),
             "traces_bitwise_identical": kernels.traces_identical,
             "samples": kernels.samples,
+        },
+        "flexray_kernel": {
+            "scenario": flexray_kernels.scenario,
+            "batch_cosim_seconds": round(flexray_kernels.batch_seconds, 4),
+            "event_cosim_seconds": round(flexray_kernels.event_seconds, 4),
+            "legacy_cosim_seconds": round(flexray_kernels.legacy_seconds, 4),
+            "batch_speedup_vs_event": round(
+                flexray_kernels.batch_speedup_vs_event, 3
+            ),
+            "batch_speedup_vs_legacy": round(
+                flexray_kernels.batch_speedup_vs_legacy, 3
+            ),
+            "traces_bitwise_identical": flexray_kernels.traces_identical,
+            "samples": flexray_kernels.samples,
         },
         "zoh_cache": GLOBAL_ZOH_CACHE.stats(),
         "generated_unix": round(time.time(), 1),
@@ -133,6 +158,13 @@ def test_bench_cosim_grid_thread_vs_process():
             f"batch kernel only {kernels.batch_speedup_vs_legacy:.2f}x "
             "faster than legacy, below the 3x bar"
         )
+        # ISSUE 8 bar: on the loss-free FlexRay fleet the precomputed
+        # schedule must buy at least 2x over the event kernel.
+        assert flexray_kernels.batch_speedup_vs_event >= 2.0, (
+            f"FlexRay batch kernel only "
+            f"{flexray_kernels.batch_speedup_vs_event:.2f}x faster than "
+            "the event kernel, below the 2x bar"
+        )
 
 
 def test_bench_cosim_json_is_valid():
@@ -147,4 +179,10 @@ def test_bench_cosim_json_is_valid():
         <= set(kernel)
     assert kernel["batch_speedup_vs_legacy"] > 0
     assert kernel["event_over_legacy_ratio"] > 0
+    flexray = payload["flexray_kernel"]
+    assert flexray["traces_bitwise_identical"] is True
+    assert {"batch_cosim_seconds", "event_cosim_seconds", "legacy_cosim_seconds"} \
+        <= set(flexray)
+    assert flexray["batch_speedup_vs_event"] > 0
+    assert flexray["batch_speedup_vs_legacy"] > 0
     assert payload["speedup_process_vs_thread"] > 0

@@ -130,6 +130,10 @@ def _cmd_ablations(args):
     if args.which in ("kernel", "all"):
         data["kernel"] = run_kernel_ablation(wait_step=_wait_step(args))
         texts.append(data["kernel"].report())
+        data["kernel_flexray"] = run_kernel_ablation(
+            wait_step=_wait_step(args), scenario="fig5-cosim"
+        )
+        texts.append(data["kernel_flexray"].report())
     return "\n\n".join(texts), data
 
 
@@ -482,8 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNELS),
         default="auto",
         help=(
-            "co-simulation kernel (auto = batched analytic fast path "
-            "when eligible; traces are identical across kernels)"
+            "co-simulation kernel (auto = batch fast path when the fleet "
+            "is capable — analytic network, or loss-free static-slot "
+            "FlexRay; traces are identical across kernels)"
         ),
     )
 

@@ -414,6 +414,13 @@ class KernelAblationResult:
         return self.legacy_seconds / self.batch_seconds
 
     @property
+    def batch_speedup_vs_event(self) -> float:
+        """How many times faster the batch fast path runs than event."""
+        if self.batch_seconds <= 0:
+            return float("inf")
+        return self.event_seconds / self.batch_seconds
+
+    @property
     def event_speedup_vs_legacy(self) -> float:
         """How many times faster the event kernel runs than legacy."""
         if self.event_seconds <= 0:
@@ -451,19 +458,24 @@ def traces_bitwise_equal(a, b) -> bool:
 
 
 def run_kernel_ablation(
-    wait_step: int = 2, horizon: Optional[float] = None, repeats: int = 1
+    wait_step: int = 2,
+    horizon: Optional[float] = None,
+    repeats: int = 1,
+    scenario: str = "fig5-cosim-analytic",
 ) -> KernelAblationResult:
     """E12: event and batch kernels must reproduce legacy exactly.
 
     ``repeats`` re-runs each kernel and keeps the fastest co-simulation
     stage (the first pass pays process-wide cache warm-up; benchmarks
-    that publish ratios should pass ``repeats>=3``).
+    that publish ratios should pass ``repeats>=3``).  ``scenario``
+    selects the ablation subject: the default analytic Figure 5 roster
+    exercises the analytic batch kernel, while ``"fig5-cosim"`` (a
+    loss-free cycle-accurate FlexRay bus) exercises the deterministic
+    FlexRay schedule-precomputation path.
     """
     from repro.pipeline import DesignStudy, get_scenario
 
-    base = get_scenario("fig5-cosim-analytic").derive(
-        wait_step=wait_step, horizon=horizon
-    )
+    base = get_scenario(scenario).derive(wait_step=wait_step, horizon=horizon)
     runs = {}
     seconds = {}
     for kernel in ("legacy", "event", "batch"):

@@ -225,7 +225,7 @@ register_scenario(
         description=(
             "Multi-rate fleet — a 2 ms motor current loop beside 20 ms "
             "chassis loops — co-simulated over a 1 ms-cycle FlexRay bus "
-            "(event kernel only)"
+            "(loss-free static-slot schedule: batch-kernel eligible)"
         ),
         source="multirate",
         cosim=True,

@@ -179,6 +179,11 @@ _TIME_TOKENS = frozenset(
         "ns",
         "release",
         "delivery",
+        "grant",
+        "grants",
+        "transmit",
+        "window",
+        "windows",
         "deadline",
         "deadlines",
         "response",

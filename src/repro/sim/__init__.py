@@ -6,7 +6,7 @@ co-simulator, and trace recording for Figure 5.
 """
 
 from repro.sim.arbiter import SlotClient, SlotState, TTSlotArbiter
-from repro.sim.batch import batch_eligible
+from repro.sim.batch import batch_capability, batch_eligible
 from repro.sim.cosim import (
     KERNELS,
     AnalyticNetwork,
@@ -47,6 +47,7 @@ __all__ = [
     "FlexRayNetwork",
     "GLOBAL_ZOH_CACHE",
     "KERNELS",
+    "batch_capability",
     "batch_eligible",
     "PeriodicTask",
     "PlantStepperBank",

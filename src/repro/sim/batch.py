@@ -28,12 +28,36 @@ controls, plant sweeps), same float products for every recorded time,
 norm and delay.  The test suite asserts trace equality against both the
 event and the legacy kernel.
 
-Eligibility is deliberately narrow: :func:`batch_eligible` accepts only
-fleets whose network is *exactly* an :class:`AnalyticNetwork` (a
-subclass could override the delay model, so it falls back).  Everything
-else — FlexRay buses, background traffic, frame loss — runs on the
-event kernel; :class:`~repro.sim.cosim.CoSimulator` handles the
-fallback transparently for ``kernel="batch"`` and ``kernel="auto"``.
+Eligibility is a **capability check**: :func:`batch_capability` names
+which precomputation strategy covers a fleet —
+
+* ``"analytic"`` — the network is *exactly* an
+  :class:`AnalyticNetwork` (a subclass could override the delay model,
+  so it falls back): every delay is a per-mode constant;
+* ``"flexray"`` — the network is exactly a
+  :class:`~repro.sim.cosim.FlexRayNetwork` whose schedule is
+  deterministic: ``loss_rate == 0``, no background dynamic-segment
+  traffic, stock bus/segment classes and a cold bus (see
+  :func:`repro.sim.batch_flexray.flexray_deterministic`).  The static
+  segment is TDMA, so every grant and transmission instant follows from
+  the slot table and is replayed ahead of the event loop by
+  :class:`~repro.sim.batch_flexray._FlexRaySchedule`;
+* ``None`` — anything else (frame loss, dynamic-segment contention,
+  subclassed networks) runs on the event kernel;
+  :class:`~repro.sim.cosim.CoSimulator` handles the fallback
+  transparently for ``kernel="batch"`` and ``kernel="auto"`` and
+  records the choice in the cosim artifact's ``kernel_used``.
+
+On top of the precomputed grids, per-sample **norms** and **control
+products** vectorize across applications: fleet-wide row-stacked
+``sqrt(einsum)`` norms per state dimension and one matmul per
+(gain, mode) group across same-gain applications.  Both are gated by
+seeded probes (:func:`_norm_stack_safe`, :func:`_rowwise_control_safe`)
+that engage the stacked formulation only where this platform reproduces
+the scalar arithmetic bitwise, and singleton plant buckets additionally
+merge across *different* dynamics through the
+:func:`~repro.sim.stepper.stacked_safe` 3-D-matmul probe shared with
+:class:`~repro.sim.stepper.PlantStepperBank`.
 """
 
 from __future__ import annotations
@@ -47,25 +71,113 @@ import numpy as np
 # time (only lazily inside CoSimulator.run), so there is no cycle.
 # Sharing _TIME_TOL matters — the disturbance-to-tick mapping must use
 # the exact same ceil() product as the event kernel.
-from repro.sim.cosim import _TIME_TOL, AnalyticNetwork
+from repro.sim.cosim import _TIME_TOL, AnalyticNetwork, FlexRayNetwork
 from repro.sim.runtime import CommState
-from repro.sim.stepper import GLOBAL_ZOH_CACHE, _dynamics_key, delay_key
+from repro.sim.stepper import (
+    GLOBAL_ZOH_CACHE,
+    _dynamics_key,
+    delay_key,
+    stacked_safe,
+)
 from repro.sim.trace import AppTrace, SimulationTrace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cosim import CoSimulator
 
 
+def batch_capability(sim: "CoSimulator") -> Optional[str]:
+    """Which batch precomputation strategy covers this co-simulation.
+
+    * ``"analytic"`` — the network is exactly an
+      :class:`~repro.sim.cosim.AnalyticNetwork`: every delay is a
+      per-mode constant and the network needs no cycle-accurate
+      stepping.
+    * ``"flexray"`` — the network is exactly a
+      :class:`~repro.sim.cosim.FlexRayNetwork` with a deterministic
+      schedule (``loss_rate == 0``, no background dynamic-segment
+      traffic, stock bus/segment classes, cold bus): every grant and
+      transmission instant follows from the slot table and can be
+      replayed ahead of the loop.
+    * ``None`` — not batchable; the fleet runs on the event kernel.
+
+    Subclasses of either network are rejected (they may override the
+    delay or transport model), so they fall back to event cleanly.
+    """
+    network = sim.network
+    if type(network) is AnalyticNetwork:
+        return "analytic"
+    if type(network) is FlexRayNetwork:
+        from repro.sim.batch_flexray import flexray_deterministic
+
+        if flexray_deterministic(network):
+            return "flexray"
+    return None
+
+
 def batch_eligible(sim: "CoSimulator") -> bool:
     """Whether the batch fast path can run this co-simulation.
 
-    True iff the network is exactly an
-    :class:`~repro.sim.cosim.AnalyticNetwork` — then every delay is a
-    per-mode constant and the network needs no cycle-accurate stepping.
-    Subclasses are rejected (they may override the delay model), as is
-    anything cycle-accurate; those fleets run on the event kernel.
+    True iff :func:`batch_capability` names a strategy — the network is
+    exactly an :class:`~repro.sim.cosim.AnalyticNetwork`, or exactly a
+    :class:`~repro.sim.cosim.FlexRayNetwork` whose schedule is
+    deterministic (loss-free, static-slot-only, stock classes).
+    Anything else — frame loss, background dynamic-segment traffic,
+    subclassed networks — runs on the event kernel.
     """
-    return type(sim.network) is AnalyticNetwork
+    return batch_capability(sim) is not None
+
+
+_NORM_PROBE: Dict[int, bool] = {}
+
+
+def _norm_stack_safe(n_states: int) -> bool:
+    """Whether row-stacked ``sqrt(einsum('ij,ij->i', X, X))`` matches the
+    per-vector ``sqrt(x.dot(x))`` norms bitwise on this platform.
+
+    A seeded random probe decides this once per state dimension per
+    process.  The probe is deliberately large (2048 samples across 12
+    decades of magnitude): where the two routes differ — e.g. a
+    fused-multiply-add ``ddot`` against an unfused einsum reduction —
+    mismatches are value-dependent but frequent (several percent of
+    random inputs), so a large sample rejects such a platform with
+    overwhelming probability and the scalar formulation stays in force.
+    """
+    cached = _NORM_PROBE.get(n_states)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(0x5AFE + n_states)
+    count = 2048
+    xs = rng.standard_normal((count, n_states))
+    xs *= np.logspace(-6, 6, count)[:, None]
+    stacked = np.sqrt(np.einsum("ij,ij->i", xs, xs))
+    safe = all(sqrt(xs[i].dot(xs[i])) == stacked[i] for i in range(count))
+    _NORM_PROBE[n_states] = safe
+    return safe
+
+
+def _rowwise_control_safe(neg_gain: np.ndarray) -> bool:
+    """Whether ``Z @ (-K).T`` rows match the per-sample ``(-K) @ z``
+    products bitwise for this exact gain matrix.
+
+    Probed with many seeded random samples over several stack heights:
+    the matrix-vector and matrix-matrix BLAS routes may fuse their
+    multiply-adds differently, and such divergence is value-dependent
+    but frequent under random inputs, so hundreds of trials per height
+    reject an unsafe platform with overwhelming probability.
+    """
+    rng = np.random.default_rng(0x5AFE)
+    neg_t = neg_gain.T
+    width = neg_gain.shape[1]
+    for m in (2, 3, 4, 5, 8, 16):
+        for _ in range(32):
+            zs = rng.standard_normal((m, width))
+            stacked = zs.dot(neg_t)
+            if not all(
+                np.array_equal(neg_gain.dot(zs[i]), stacked[i])
+                for i in range(m)
+            ):
+                return False
+    return True
 
 
 class _BatchKernel:
@@ -97,7 +209,6 @@ class _BatchKernel:
 
     def _prepare(self) -> None:
         sim = self.sim
-        network = sim.network
         cache = GLOBAL_ZOH_CACHE
         n = self.n
         self.names = [a.name for a in self.apps]
@@ -149,15 +260,54 @@ class _BatchKernel:
                 if k >= self.steps[i]:
                     continue
                 self.dist_at[i].setdefault(k, []).append(event)
-        # Analytic delays per (application, mode), resolved once.  The
-        # eager kernel sees ``min(c, period)``; the lazy kernel sees
-        # ``min((release + c) - release, period)`` which is release-
-        # dependent in floats, so lazy mode recomputes it per tick.
+        # Probe-gated vectorization groups, engaged by the eager loops:
+        # fleet-wide norms per state dimension and fleet-wide control
+        # products per identical gain pair.  Applications whose group
+        # fails its platform probe (or that have no partner) keep the
+        # scalar formulations.
+        by_dim: Dict[int, List[int]] = {}
+        for i, app in enumerate(self.apps):
+            by_dim.setdefault(app.dynamics.n_states, []).append(i)
+        self.norm_groups: List[List[int]] = []
+        grouped: set = set()
+        for dim, idxs in by_dim.items():
+            if len(idxs) >= 2 and _norm_stack_safe(dim):
+                self.norm_groups.append(idxs)
+                grouped.update(idxs)
+        self.norm_solo = [i for i in range(n) if i not in grouped]
+        by_gain: Dict[Tuple, List[int]] = {}
+        for i, (net, ntt) in enumerate(self.neg_gains):
+            key = (net.shape, net.tobytes(), ntt.shape, ntt.tobytes())
+            by_gain.setdefault(key, []).append(i)
+        #: ``(indices, (-K_et, -K_tt), ((-K_et).T, (-K_tt).T))`` per group.
+        self.gain_groups: List[Tuple[List[int], Tuple, Tuple]] = []
+        self.scalar_control = [True] * n
+        for idxs in by_gain.values():
+            if len(idxs) < 2:
+                continue
+            net, ntt = self.neg_gains[idxs[0]]
+            if _rowwise_control_safe(net) and _rowwise_control_safe(ntt):
+                self.gain_groups.append(((net, ntt), (net.T, ntt.T), idxs))
+                for i in idxs:
+                    self.scalar_control[i] = False
+        self._prepare_network()
+
+    def _prepare_network(self) -> None:
+        """Resolve the network's timing ahead of the loop (analytic
+        base case; the deterministic-FlexRay kernel overrides this to
+        build its schedule mirror instead).
+
+        Analytic delays per (application, mode) are constants.  The
+        eager kernel sees ``min(c, period)``; the lazy kernel sees
+        ``min((release + c) - release, period)`` which is release-
+        dependent in floats, so lazy mode recomputes it per tick.
+        """
+        network = self.sim.network
         self.mode_c = (float(network.et_delay), float(network.tt_delay))
         if self.eager:
             period = self.periods[0]
             self.eager_info: List[Tuple[Tuple, Tuple]] = []
-            for i in range(n):
+            for i in range(self.n):
                 self.eager_info.append(
                     tuple(
                         self._eager_mode_info(i, self.mode_c[mode], period, mode)
@@ -190,6 +340,58 @@ class _BatchKernel:
         gamma0, gamma1 = disc.gammas(delay)
         phi = disc.phi
         return (phi.dot, gamma0.dot, gamma1.dot, phi.T, gamma0.T, gamma1.T)
+
+    # -- fleet-wide products -----------------------------------------------
+
+    def _compute_norms(self, norms: List[float]) -> None:
+        """Current state norms for the whole roster, into ``norms``.
+
+        Probe-certified groups go through one row-stacked
+        ``sqrt(einsum)`` per state dimension; everything else keeps the
+        per-vector ``sqrt(x.dot(x))`` the event kernel computes.  The
+        values are bitwise identical either way.
+        """
+        states = self.states
+        for idxs in self.norm_groups:
+            x = np.stack([states[i] for i in idxs])
+            vec = np.sqrt(np.einsum("ij,ij->i", x, x))
+            for row, i in enumerate(idxs):
+                norms[i] = float(vec[row])
+        for i in self.norm_solo:
+            x = states[i]
+            norms[i] = sqrt(x.dot(x))
+
+    def _apply_control_groups(self, modes: List[int], us: List) -> None:
+        """Controls for the probe-certified same-gain groups, into
+        ``us`` — one ``Z @ (-K).T`` matmul per (group, mode) partition.
+
+        Row ``i`` of the stacked ``Z`` is a pure memory copy of the
+        ``concatenate((state, held))`` vector the scalar path builds, so
+        with the :func:`_rowwise_control_safe` probe holding the rows of
+        the product are bitwise the scalar ``(-K) @ z`` results.
+        """
+        states = self.states
+        held = self.held
+        concat = np.concatenate
+        for negs, negs_t, idxs in self.gain_groups:
+            for mode in (0, 1):
+                rows = [i for i in idxs if modes[i] == mode]
+                if not rows:
+                    continue
+                if len(rows) == 1:
+                    i = rows[0]
+                    us[i] = negs[mode].dot(concat((states[i], held[i])))
+                else:
+                    z = concat(
+                        (
+                            np.stack([states[i] for i in rows]),
+                            np.stack([held[i] for i in rows]),
+                        ),
+                        axis=1,
+                    )
+                    block = z.dot(negs_t[mode])
+                    for row, i in enumerate(rows):
+                        us[i] = block[row]
 
     # -- plant sweeps ------------------------------------------------------
 
@@ -252,6 +454,8 @@ class _BatchKernel:
         runtimes = self.runtimes
         appenders = self.appenders
         neg_dots = [(et.dot, tt.dot) for et, tt in self.neg_gains]
+        scalar_control = self.scalar_control
+        gain_groups = self.gain_groups
         et_info = [info[0] for info in self.eager_info]
         tt_info = [info[1] for info in self.eager_info]
         thresholds = [rt.threshold for rt in runtimes]
@@ -272,7 +476,7 @@ class _BatchKernel:
         comms: List[CommState] = [et_steady] * n
         modes = [0] * n
         us: List[Optional[np.ndarray]] = [None] * n
-        plan_cache: Dict[Tuple[int, ...], List] = {}
+        plan_cache: Dict[Tuple[int, ...], Tuple[List, List]] = {}
         violations = 0
         for k in range(steps):
             t = k * period
@@ -282,10 +486,9 @@ class _BatchKernel:
                     states[i] = states[i] + event.magnitude * dist_state[i]
                     runtimes[i].on_disturbance(t)
             arbiter.grant_pending()
+            self._compute_norms(norms)
             for i in app_range:
-                x = states[i]
-                norm = sqrt(x.dot(x))
-                norms[i] = norm
+                norm = norms[i]
                 rt = runtimes[i]
                 if fastable[i] and rt.state is et_steady and norm <= thresholds[i]:
                     # update() is a no-op below threshold in ET_STEADY.
@@ -306,17 +509,21 @@ class _BatchKernel:
                     delay, viol, _, _ = et_info[i]
                 modes[i] = mode
                 violations += viol
-                us[i] = neg_dots[i][mode](concat((states[i], held[i])))
+                if scalar_control[i]:
+                    us[i] = neg_dots[i][mode](concat((states[i], held[i])))
                 append = appenders[i]
                 append[0](t)
                 append[1](norms[i])
                 append[2](comm)
                 append[3](delay)
+            if gain_groups:
+                self._apply_control_groups(modes, us)
             plan_key = tuple(modes)
-            plan = plan_cache.get(plan_key)
-            if plan is None:
-                plan = self._eager_plan(modes)
-                plan_cache[plan_key] = plan
+            cached = plan_cache.get(plan_key)
+            if cached is None:
+                cached = self._eager_plan(modes)
+                plan_cache[plan_key] = cached
+            plan, stacked = cached
             for phi_dot, g0_dot, g1_dot, phi_t, g0t, g1t, idxs, solo in plan:
                 if solo is not None:
                     advanced = phi_dot(states[solo])
@@ -332,6 +539,13 @@ class _BatchKernel:
                     advanced += u_prev.dot(g1t)
                     for row, j in enumerate(idxs):
                         states[j] = advanced[row]
+            for phis, g0s, g1s, idxs in stacked:
+                x = np.stack([states[j] for j in idxs])[:, :, None]
+                u = np.stack([us[j] for j in idxs])[:, :, None]
+                u_prev = np.stack([held[j] for j in idxs])[:, :, None]
+                advanced = phis @ x + g0s @ u + g1s @ u_prev
+                for row, j in enumerate(idxs):
+                    states[j] = advanced[row, :, 0]
             for i in app_range:
                 held[i] = us[i]
         sim.jitter_violations += violations
@@ -345,10 +559,20 @@ class _BatchKernel:
             append[3](0.0)
             self.traces[names[i]].response_times = runtimes[i].response_times()
 
-    def _eager_plan(self, modes: List[int]) -> List[Tuple]:
-        """Sweep plan for one mode assignment: buckets in first-seen
-        (roster) order, each carrying its hoisted operators and either a
-        singleton index or the stacked index list."""
+    def _eager_plan(self, modes: List[int]) -> Tuple[List[Tuple], List[Tuple]]:
+        """``(plan, stacked)`` for one mode assignment.
+
+        ``plan`` holds the same-dynamics buckets (each carrying its
+        hoisted operators and either a singleton index or the stacked
+        index list).  Buckets left as singletons are then merged across
+        *different* dynamics by ``(n_states, n_inputs)`` shape into
+        ``stacked`` entries ``(Phis, Gamma0s, Gamma1s, idxs)`` — one
+        batched 3-D matmul each — wherever the
+        :func:`~repro.sim.stepper.stacked_safe` probe certifies bitwise
+        equality with the scalar products; the rest stay in ``plan`` as
+        scalar singletons.  Bucket order is free: plants are mutually
+        independent within one instant.
+        """
         buckets: Dict[Tuple, List[int]] = {}
         mats_of: Dict[Tuple, Tuple] = {}
         for i in range(self.n):
@@ -360,11 +584,41 @@ class _BatchKernel:
             else:
                 bucket.append(i)
         plan = []
+        singles: List[Tuple[int, Tuple]] = []
         for token, idxs in buckets.items():
-            mats = mats_of[token]
-            solo = idxs[0] if len(idxs) == 1 else None
-            plan.append((*mats, idxs, solo))
-        return plan
+            if len(idxs) == 1:
+                singles.append((idxs[0], token))
+            else:
+                plan.append((*mats_of[token], idxs, None))
+        scalar_singles = singles
+        stacked: List[Tuple] = []
+        if len(singles) >= 2:
+            by_shape: Dict[Tuple[int, int], List[Tuple[int, Tuple]]] = {}
+            for i, token in singles:
+                disc = self.discs[token[0]]
+                shape = (disc.phi.shape[0], disc.gamma_full.shape[1])
+                by_shape.setdefault(shape, []).append((i, token))
+            scalar_singles = []
+            for shape, entries in by_shape.items():
+                if len(entries) >= 2 and stacked_safe(*shape):
+                    discs = [self.discs[token[0]] for _, token in entries]
+                    pairs = [
+                        disc.gammas(self.eager_info[i][modes[i]][0])
+                        for disc, (i, _) in zip(discs, entries)
+                    ]
+                    stacked.append(
+                        (
+                            np.stack([disc.phi for disc in discs]),
+                            np.stack([pair[0] for pair in pairs]),
+                            np.stack([pair[1] for pair in pairs]),
+                            [i for i, _ in entries],
+                        )
+                    )
+                else:
+                    scalar_singles.extend(entries)
+        for i, token in scalar_singles:
+            plan.append((*mats_of[token], [i], i))
+        return plan, stacked
 
     def _run_lazy(self) -> None:
         """Multi-rate sweep: barriers bucketed on the event kernel's
@@ -491,4 +745,4 @@ class _BatchKernel:
         sim.jitter_violations += violations
 
 
-__all__ = ["batch_eligible"]
+__all__ = ["batch_capability", "batch_eligible"]

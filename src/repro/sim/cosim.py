@@ -12,12 +12,18 @@ Three simulation kernels are provided (``kernel=`` selects one;
 ``"auto"``, the default, picks the fastest applicable):
 
 * the **batch kernel** (``kernel="batch"``) is a vectorized fast path
-  for fleets whose delays are state-independent — every application on
-  an :class:`AnalyticNetwork`.  It skips per-event dispatch entirely:
-  sampling-tick grids are precomputed, delays resolve to precomputed
-  per-mode constants, and same-dynamics plants advance in NumPy-batched
-  sweeps (see :mod:`repro.sim.batch`).  Traces are bitwise identical to
-  the event kernel; ineligible fleets fall back to it automatically.
+  for fleets whose communication timeline is precomputable: every
+  application on an :class:`AnalyticNetwork` (state-independent
+  per-mode delay constants), or a *deterministic* FlexRay fleet —
+  ``loss_rate == 0``, no background dynamic-segment traffic, stock bus
+  classes — whose grant/transmit instants are replayed from the
+  static-segment slot table ahead of the loop (see
+  :mod:`repro.sim.batch` and :mod:`repro.sim.batch_flexray`).  It skips
+  per-event dispatch entirely: sampling-tick grids are precomputed and
+  same-dynamics plants advance in NumPy-batched sweeps.  Traces are
+  bitwise identical to the event kernel; ineligible fleets (frame loss,
+  dynamic-segment contention, subclassed networks) fall back to it
+  automatically.
 * the **event-driven kernel** (``kernel="event"``) schedules sampling
   ticks, disturbance arrivals, slot grant hand-overs and message
   transmission on a :class:`~repro.sim.events.EventQueue`.  Applications
@@ -717,10 +723,13 @@ class CoSimulator:
     ``kernel=`` selects the simulation kernel:
 
     * ``"auto"`` (default) — the batch fast path when the fleet is
-      eligible (see :func:`repro.sim.batch.batch_eligible`), the event
-      kernel otherwise;
-    * ``"batch"`` — the vectorized analytic-network fast path, falling
-      back to the event kernel when the fleet is ineligible;
+      eligible (see :func:`repro.sim.batch.batch_capability`: analytic
+      network, or deterministic loss-free static-slot FlexRay), the
+      event kernel otherwise;
+    * ``"batch"`` — the vectorized fast path (analytic constants or a
+      precomputed FlexRay schedule walk), falling back to the event
+      kernel when the fleet is ineligible (frame loss, background
+      dynamic-segment traffic, subclassed networks);
     * ``"event"`` — the event-driven kernel; supports fleets with
       *mixed* sampling periods (disturbance arrivals, per-application
       ticks and transmissions are queue events);
@@ -814,15 +823,23 @@ class CoSimulator:
         """Simulate up to ``horizon`` seconds and return the trace."""
         check_positive(horizon, "horizon")
         kernel = self.kernel
+        capability = None
         if kernel in ("auto", "batch"):
             # Imported lazily: repro.sim.batch imports from this module.
-            from repro.sim.batch import _BatchKernel, batch_eligible
+            from repro.sim.batch import batch_capability
 
-            kernel = "batch" if batch_eligible(self) else "event"
+            capability = batch_capability(self)
+            kernel = "batch" if capability else "event"
         self.last_kernel = kernel
         if kernel == "legacy":
             return self._run_legacy(horizon)
         if kernel == "batch":
+            if capability == "flexray":
+                from repro.sim.batch_flexray import _FlexRayBatchKernel
+
+                return _FlexRayBatchKernel(self, horizon).run()
+            from repro.sim.batch import _BatchKernel
+
             return _BatchKernel(self, horizon).run()
         return _EventKernel(self, horizon).run()
 

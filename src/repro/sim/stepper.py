@@ -16,9 +16,16 @@ for each matrix exponential once, not once per run.
 applications by identical ``(dynamics, period)`` and, whenever several
 group members step with the same delay in the same sampling instant,
 advances their stacked state rows with one matrix product instead of one
-per application.  Both the event-driven and the legacy co-simulation
-kernels route all stepping through one bank, which keeps their traces
-bitwise identical by construction.
+per application.  Plants that remain singletons after that grouping —
+*different* dynamics sharing only their ``(n_states, n_inputs)`` shape —
+are additionally merged into one batched ``(m, n, n) @ (m, n, 1)``
+matmul per shape, gated by :func:`stacked_safe`: a seeded per-shape
+probe that engages the stacked formulation only where this platform's
+batched matmul is bitwise identical, slice for slice, to the scalar
+products (reduction order is shape-dependent, not value-dependent, so
+the probe decides once per shape per process).  Both the event-driven
+and the legacy co-simulation kernels route all stepping through one
+bank, which keeps their traces bitwise identical by construction.
 """
 
 from __future__ import annotations
@@ -42,6 +49,56 @@ def _dynamics_key(dynamics: ContinuousStateSpace) -> Tuple:
 def delay_key(delay: float) -> int:
     """Quantise a delay onto the 0.1 us cache grid."""
     return int(round(delay * 1e7))
+
+
+_STACKED_PROBE: Dict[Tuple[int, int], bool] = {}
+
+
+def stacked_safe(n_states: int, n_inputs: int) -> bool:
+    """Whether batched ``(m,n,n) @ (m,n,1)`` matmul matches the scalar
+    per-plant products bitwise on this platform, for one plant shape.
+
+    numpy may route the batched gufunc and the plain 2-D ``@`` through
+    BLAS kernels whose multiply-adds fuse differently.  Such divergence
+    is value-dependent but frequent under random inputs (several percent
+    of samples on an affected platform), so a seeded probe with dozens
+    of trials per batch height rejects an unsafe platform with
+    overwhelming probability; a pass licenses the stacked formulation
+    for all inputs of this ``(n_states, n_inputs)`` shape, decided once
+    per shape per process.
+    """
+    key = (n_states, n_inputs)
+    cached = _STACKED_PROBE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(0x5AFE)
+    safe = True
+    for m in (2, 3, 4, 5, 8, 16):
+        for _ in range(32):
+            phis = rng.standard_normal((m, n_states, n_states))
+            g0s = rng.standard_normal((m, n_states, n_inputs))
+            g1s = rng.standard_normal((m, n_states, n_inputs))
+            xs = rng.standard_normal((m, n_states))
+            us = rng.standard_normal((m, n_inputs))
+            ups = rng.standard_normal((m, n_inputs))
+            batched = (
+                phis @ xs[:, :, None]
+                + g0s @ us[:, :, None]
+                + g1s @ ups[:, :, None]
+            )
+            if not all(
+                np.array_equal(
+                    batched[i, :, 0],
+                    phis[i] @ xs[i] + g0s[i] @ us[i] + g1s[i] @ ups[i],
+                )
+                for i in range(m)
+            ):
+                safe = False
+                break
+        if not safe:
+            break
+    _STACKED_PROBE[key] = safe
+    return safe
 
 
 class _PlantDiscretization:
@@ -163,8 +220,11 @@ class PlantStepperBank:
     Applications registered with identical ``(dynamics, period)`` share
     one cached discretisation; when two or more of them step with the
     same delay at the same instant, their states are advanced as stacked
-    rows with a single matrix product per term.  Heterogeneous fleets
-    fall back to per-application products.
+    rows with a single matrix product per term.  Plants left over as
+    singletons — heterogeneous dynamics sharing only their state/input
+    shape — are merged into one batched 3-D matmul per shape when
+    :func:`stacked_safe` certifies the platform reproduces the scalar
+    products bitwise; otherwise they step with per-application products.
     """
 
     def __init__(self, cache: Optional[ZOHCache] = None):
@@ -173,6 +233,7 @@ class PlantStepperBank:
         self._groups: Dict[Tuple, List[str]] = {}
         self.vector_steps = 0
         self.scalar_steps = 0
+        self.stacked_steps = 0
 
     def register(
         self, name: str, dynamics: ContinuousStateSpace, period: float
@@ -192,6 +253,7 @@ class PlantStepperBank:
         ``states`` is mutated with the post-interval states.
         """
         remaining = set(requests)
+        solos: List[Tuple[str, np.ndarray, np.ndarray, np.ndarray]] = []
         for members in self._groups.values():
             due = [name for name in members if name in remaining]
             if not due:
@@ -204,12 +266,7 @@ class PlantStepperBank:
             for names in by_delay.values():
                 gamma0, gamma1 = disc.gammas(requests[names[0]][2])
                 if len(names) == 1:
-                    name = names[0]
-                    u, u_prev, _ = requests[name]
-                    states[name] = (
-                        disc.phi @ states[name] + gamma0 @ u + gamma1 @ u_prev
-                    )
-                    self.scalar_steps += 1
+                    solos.append((names[0], disc.phi, gamma0, gamma1))
                 else:
                     x = np.stack([states[name] for name in names])
                     u = np.stack([requests[name][0] for name in names])
@@ -224,6 +281,52 @@ class PlantStepperBank:
             raise KeyError(
                 f"step requested for unregistered application(s) {sorted(remaining)}"
             )
+        if solos:
+            self._step_solos(states, requests, solos)
+
+    def _step_solos(
+        self,
+        states: Dict[str, np.ndarray],
+        requests: Dict[str, Tuple[np.ndarray, np.ndarray, float]],
+        solos: List[Tuple[str, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> None:
+        """Step the plants that ended up alone in their (group, delay)
+        bucket, stacking same-shape ones across different dynamics.
+
+        Plants are mutually independent within one instant, so deferring
+        the singleton steps behind the vectorized groups cannot change
+        any value; the stacked 3-D matmul is used only where the
+        :func:`stacked_safe` probe holds, so the states it writes are
+        bitwise those of the scalar products.
+        """
+        scalar = solos
+        if len(solos) >= 2:
+            by_shape: Dict[Tuple[int, int], List[Tuple]] = {}
+            for entry in solos:
+                by_shape.setdefault(
+                    (entry[1].shape[0], entry[2].shape[1]), []
+                ).append(entry)
+            scalar = []
+            for shape, entries in by_shape.items():
+                if len(entries) >= 2 and stacked_safe(*shape):
+                    phis = np.stack([e[1] for e in entries])
+                    g0s = np.stack([e[2] for e in entries])
+                    g1s = np.stack([e[3] for e in entries])
+                    x = np.stack([states[e[0]] for e in entries])[:, :, None]
+                    u = np.stack([requests[e[0]][0] for e in entries])
+                    u_prev = np.stack([requests[e[0]][1] for e in entries])
+                    advanced = (
+                        phis @ x + g0s @ u[:, :, None] + g1s @ u_prev[:, :, None]
+                    )
+                    for row, entry in enumerate(entries):
+                        states[entry[0]] = advanced[row, :, 0]
+                    self.stacked_steps += len(entries)
+                else:
+                    scalar.extend(entries)
+        for name, phi, gamma0, gamma1 in scalar:
+            u, u_prev, _ = requests[name]
+            states[name] = phi @ states[name] + gamma0 @ u + gamma1 @ u_prev
+            self.scalar_steps += 1
 
 
 __all__ = [
@@ -232,4 +335,5 @@ __all__ = [
     "PlantStepperBank",
     "ZOHCache",
     "delay_key",
+    "stacked_safe",
 ]

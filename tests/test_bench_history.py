@@ -96,3 +96,111 @@ class TestAppendHistory:
         for entry in lines:
             assert set(entry) == {"commit", "artifact", "key", "value"}
             assert isinstance(entry["value"], float)
+
+
+class TestRegressionGate:
+    """``--only`` metric filtering and the ``REPRO_BENCH_NO_GATE``
+    escape hatch of the blocking CI gate."""
+
+    def _pin_baseline(self, monkeypatch, baseline):
+        monkeypatch.setattr(
+            compare_bench, "committed_version", lambda path, ref: baseline
+        )
+
+    def test_only_filter_gates_just_the_named_metric(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._pin_baseline(
+            monkeypatch,
+            {"kernel": {"batch_speedup_vs_legacy": 4.0}, "thread_seconds": 10.0},
+        )
+        # The speedup collapsed AND an unrelated timing blew up; with
+        # --only, only the speedup regression fails the run.
+        artifact = write_artifact(
+            tmp_path / "BENCH_x.json",
+            {"kernel": {"batch_speedup_vs_legacy": 2.0}, "thread_seconds": 99.0},
+        )
+        code = compare_bench.main(
+            [str(artifact), "--fail-above", "25", "--only", "speedup_vs_legacy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "batch_speedup_vs_legacy" in out
+        assert "thread_seconds" not in out
+
+    def test_only_filter_ignores_noise_outside_the_gate(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._pin_baseline(
+            monkeypatch,
+            {"kernel": {"batch_speedup_vs_legacy": 4.0}, "thread_seconds": 10.0},
+        )
+        artifact = write_artifact(
+            tmp_path / "BENCH_x.json",
+            {"kernel": {"batch_speedup_vs_legacy": 3.9}, "thread_seconds": 99.0},
+        )
+        code = compare_bench.main(
+            [str(artifact), "--fail-above", "25", "--only", "speedup_vs_legacy"]
+        )
+        assert code == 0
+
+    def test_only_glob_is_anchored_and_excludes_flexray_section(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._pin_baseline(
+            monkeypatch,
+            {
+                "kernel": {"batch_speedup_vs_legacy": 4.0},
+                "flexray_kernel": {"batch_speedup_vs_legacy": 4.0},
+            },
+        )
+        # Only the flexray section collapsed; the anchored glob watches
+        # the analytic section, so the gate passes.
+        artifact = write_artifact(
+            tmp_path / "BENCH_x.json",
+            {
+                "kernel": {"batch_speedup_vs_legacy": 3.9},
+                "flexray_kernel": {"batch_speedup_vs_legacy": 1.0},
+            },
+        )
+        code = compare_bench.main(
+            [str(artifact), "--fail-above", "25", "--only", "kernel.batch_speedup*"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flexray_kernel" not in out
+
+    def test_only_filter_with_no_matches_reports_and_passes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._pin_baseline(monkeypatch, {"elapsed": 1.0})
+        artifact = write_artifact(tmp_path / "BENCH_x.json", {"elapsed": 9.0})
+        code = compare_bench.main(
+            [str(artifact), "--fail-above", "25", "--only", "no-such-metric"]
+        )
+        assert code == 0
+        assert "no metric paths match" in capsys.readouterr().out
+
+    def test_no_gate_env_reports_but_exits_zero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._pin_baseline(monkeypatch, {"batch_speedup_vs_legacy": 4.0})
+        artifact = write_artifact(
+            tmp_path / "BENCH_x.json", {"batch_speedup_vs_legacy": 1.0}
+        )
+        monkeypatch.setenv("REPRO_BENCH_NO_GATE", "1")
+        code = compare_bench.main([str(artifact), "--fail-above", "25"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "regressed beyond" in out
+        assert "REPRO_BENCH_NO_GATE" in out
+
+    def test_gate_still_fails_when_escape_hatch_unset(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self._pin_baseline(monkeypatch, {"batch_speedup_vs_legacy": 4.0})
+        artifact = write_artifact(
+            tmp_path / "BENCH_x.json", {"batch_speedup_vs_legacy": 1.0}
+        )
+        monkeypatch.delenv("REPRO_BENCH_NO_GATE", raising=False)
+        assert compare_bench.main([str(artifact), "--fail-above", "25"]) == 1

@@ -184,11 +184,15 @@ class TestEligibilityAndFallback:
         event_sim = CoSimulator(shared_fleet(dist), net(), kernel="event")
         assert traces_bitwise_equal(batch_trace, event_sim.run(6.0))
 
-    def test_multirate_flexray_falls_back_and_runs(self):
+    def test_lossfree_multirate_flexray_is_now_batch_eligible(self):
+        """Deterministic FlexRay joined the fast path: loss-free,
+        traffic-free, stock-bus fleets select batch under kernel="batch"
+        (the deeper parity assertions live in
+        tests/test_cosim_batch_flexray.py)."""
         network = FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config()))
         sim = CoSimulator(multirate_fleet(), network, kernel="batch")
         trace = sim.run(3.0)
-        assert sim.last_kernel == "event"
+        assert sim.last_kernel == "batch"
         assert len(trace.apps) == 3
 
     def test_subclassed_network_is_not_eligible(self):
@@ -215,3 +219,71 @@ class TestEligibilityAndFallback:
         assert sim.legacy is True
         sim.run(2.0)
         assert sim.last_kernel == "legacy"
+
+
+class TestProbeGatedVectorization:
+    """Whatever the platform probes decide, the fleet-wide norm and
+    control helpers must reproduce the scalar formulations bitwise."""
+
+    def _prepared_kernel(self, fleet):
+        from repro.sim.batch import _BatchKernel
+
+        kernel = _BatchKernel(CoSimulator(fleet, AnalyticNetwork()), 1.0)
+        kernel._prepare()
+        return kernel
+
+    def same_gain_fleet(self):
+        return [
+            make_app("twin-a", servo_rig(), 0, 1, 5.0),
+            make_app("twin-b", servo_rig(), 1, 2, 5.0),
+            make_app("other", dc_motor_speed(), 0, 3, 6.0),
+        ]
+
+    def test_compute_norms_bitwise_matches_scalar(self):
+        from math import sqrt
+
+        kernel = self._prepared_kernel(self.same_gain_fleet())
+        rng = np.random.default_rng(5)
+        for _ in range(64):
+            for i in range(kernel.n):
+                scale = 10.0 ** float(rng.integers(-6, 7))
+                kernel.states[i] = rng.standard_normal(
+                    kernel.states[i].shape
+                ) * scale
+            norms = [0.0] * kernel.n
+            kernel._compute_norms(norms)
+            for i in range(kernel.n):
+                x = kernel.states[i]
+                assert norms[i] == sqrt(x.dot(x))
+
+    def test_apply_control_groups_bitwise_matches_scalar(self):
+        kernel = self._prepared_kernel(self.same_gain_fleet())
+        rng = np.random.default_rng(11)
+        for trial in range(64):
+            modes = [int(b) for b in rng.integers(0, 2, kernel.n)]
+            for i in range(kernel.n):
+                kernel.states[i] = rng.standard_normal(kernel.states[i].shape)
+                kernel.held[i] = rng.standard_normal(kernel.held[i].shape)
+            us = [None] * kernel.n
+            for i in range(kernel.n):
+                if kernel.scalar_control[i]:
+                    us[i] = kernel.neg_gains[i][modes[i]].dot(
+                        np.concatenate((kernel.states[i], kernel.held[i]))
+                    )
+            kernel._apply_control_groups(modes, us)
+            for i in range(kernel.n):
+                reference = kernel.neg_gains[i][modes[i]].dot(
+                    np.concatenate((kernel.states[i], kernel.held[i]))
+                )
+                np.testing.assert_array_equal(us[i], reference)
+
+    def test_identical_twins_share_one_gain_group_candidate(self):
+        """Same design → byte-identical gains; the twins either form a
+        probe-certified group or both stay scalar — never a mix."""
+        kernel = self._prepared_kernel(self.same_gain_fleet())
+        assert (
+            kernel.scalar_control[0] == kernel.scalar_control[1]
+        )
+        if kernel.gain_groups:
+            (negs, _negs_t, idxs) = kernel.gain_groups[0]
+            assert idxs == [0, 1]

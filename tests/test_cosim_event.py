@@ -219,6 +219,44 @@ class TestStepperBank:
         with pytest.raises(KeyError, match="unregistered"):
             bank.step_all({}, {"ghost": (np.zeros(1), np.zeros(1), 0.0)})
 
+    def test_singletons_stack_across_different_dynamics(self):
+        """Two plants with *different* dynamics but one (2, 1) shape:
+        where the platform probe holds they advance in one batched
+        matmul, and either way the states are bitwise the scalar ones."""
+        from repro.sim.stepper import DelayedStepper, stacked_safe
+
+        servo, motor = servo_rig(), dc_motor_speed()
+        cache = ZOHCache()
+        bank = PlantStepperBank(cache=cache)
+        bank.register("servo", servo.model, servo.period)
+        bank.register("motor", motor.model, motor.period)
+        u = np.array([0.25])
+        states = {
+            "servo": np.array([0.3, -0.1]),
+            "motor": np.array([0.2, 0.4]),
+        }
+        expected = {
+            name: DelayedStepper(plant.model, plant.period, cache=cache).step(
+                states[name], u, 0 * u, 0.0007
+            )
+            for name, plant in (("servo", servo), ("motor", motor))
+        }
+        bank.step_all(states, {n: (u, 0 * u, 0.0007) for n in states})
+        if stacked_safe(2, 1):
+            assert bank.stacked_steps == 2 and bank.scalar_steps == 0
+        else:
+            assert bank.scalar_steps == 2 and bank.stacked_steps == 0
+        for name in states:
+            np.testing.assert_array_equal(states[name], expected[name])
+
+    def test_lone_singleton_keeps_scalar_path(self):
+        plant = servo_rig()
+        bank = PlantStepperBank(cache=ZOHCache())
+        bank.register("solo", plant.model, plant.period)
+        u = np.array([0.1])
+        bank.step_all({"solo": np.ones(2)}, {"solo": (u, u, 0.0007)})
+        assert bank.scalar_steps == 1 and bank.stacked_steps == 0
+
     def test_zoh_cache_shared_across_banks(self):
         cache = ZOHCache()
         plant = servo_rig()

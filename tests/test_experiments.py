@@ -168,6 +168,17 @@ class TestAblations:
             assert result.raw[name] >= equalized - 1e-9
         assert "equalisation" in result.report()
 
+    def test_kernel_ablation_covers_the_flexray_subject(self):
+        from repro.experiments import run_kernel_ablation
+
+        result = run_kernel_ablation(
+            wait_step=16, horizon=4.0, scenario="fig5-cosim"
+        )
+        assert result.scenario.startswith("fig5-cosim")
+        assert result.traces_identical
+        assert result.apps > 0 and result.samples > 0
+        assert "fig5-cosim" in result.report()
+
     def test_qoc_ablation(self, sim_apps):
         from repro.experiments.ablations import run_qoc_ablation
 

@@ -141,6 +141,30 @@ class TestQA003FloatTimeCompare:
         source = "import numpy as np\neps = np.spacing(1.0)\n"
         assert ids(findings_for(source, path=SIM_PATH)) == ["QA003"]
 
+    def test_isclose_on_precomputed_grant_instant_fires(self):
+        """The FlexRay schedule-precomputation vocabulary (grant /
+        transmit / window instants) is covered by the int-ns contract."""
+        source = """\
+        import numpy as np
+        def due(grant, transmit_window):
+            return np.isclose(grant, transmit_window)
+        """
+        (finding,) = findings_for(source, path=SIM_PATH)
+        assert finding.rule_id == "QA003"
+        assert "integer-ns" in finding.message
+
+    def test_abs_diff_tolerance_on_transmit_window_fires(self):
+        source = """\
+        def within(transmit_start, window_end):
+            return abs(transmit_start - window_end) <= 1e-9
+        """
+        (finding,) = findings_for(source, path=SIM_PATH)
+        assert finding.rule_id == "QA003"
+
+    def test_exact_compare_on_grant_instants_does_not_fire(self):
+        source = "due = grant_ns == window_start_ns\n"
+        assert findings_for(source, path=SIM_PATH) == []
+
     def test_isclose_on_state_vectors_does_not_fire(self):
         source = """\
         import numpy as np
