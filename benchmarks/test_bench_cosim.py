@@ -6,8 +6,10 @@ sporadic disturbances, FlexRay frame loss, seeds 0..31) through
 kernel shoot-outs** (legacy fixed-step loop / event kernel / batch fast
 path) — one on the fig5 analytic scenario and one on the loss-free
 cycle-accurate FlexRay fig5 fleet, where the batch kernel precomputes
-the static-segment schedule — and writes the numbers to
-``BENCH_cosim.json`` at the repository root.
+the static-segment schedule — plus one run of the ``can-cosim``
+scenario (ISSUE 9's priority-arbitrated CAN backend, event kernel
+only), and writes the numbers to ``BENCH_cosim.json`` at the
+repository root.
 
 The co-simulation loop is pure Python, so thread workers serialize on
 the GIL; the process pool is the scaling path.  The ``>= 2x`` speedup
@@ -90,6 +92,21 @@ def test_bench_cosim_grid_thread_vs_process():
     )
     assert flexray_kernels.traces_identical
 
+    # ISSUE 9: the CAN backend rides the same artifact.  One run of the
+    # can-cosim scenario records its throughput and bus counters; the
+    # keys are new, so compare_bench.py shows them as non-blocking
+    # "new/gone" rows until a committed baseline exists, then as
+    # advisory timing diffs (never part of the blocking --only gate).
+    can_scenario = get_scenario("can-cosim").derive(
+        name="bench-can-cosim", wait_step=WAIT_STEP, horizon=HORIZON
+    )
+    started = time.perf_counter()
+    can_result = run_many([can_scenario], max_workers=1, executor="thread")[0]
+    can_seconds = time.perf_counter() - started
+    assert can_result.ok
+    can_artifact = can_result.artifact("cosim")
+    assert can_artifact["kernel_used"] == "event"  # arbitration: never batched
+
     speedup = thread_seconds / process_seconds if process_seconds else float("inf")
     payload = {
         "benchmark": "cosim-throughput",
@@ -129,6 +146,14 @@ def test_bench_cosim_grid_thread_vs_process():
             ),
             "traces_bitwise_identical": flexray_kernels.traces_identical,
             "samples": flexray_kernels.samples,
+        },
+        "can_cosim": {
+            "scenario": "can-cosim",
+            "cosim_seconds": round(can_seconds, 4),
+            "kernel_used": can_artifact["kernel_used"],
+            "qoc": round(can_artifact["qoc"], 6),
+            "deadlines_met": int(can_artifact["all_deadlines_met"]),
+            "network_stats": can_artifact["network_stats"],
         },
         "zoh_cache": GLOBAL_ZOH_CACHE.stats(),
         "generated_unix": round(time.time(), 1),
@@ -185,4 +210,9 @@ def test_bench_cosim_json_is_valid():
         <= set(flexray)
     assert flexray["batch_speedup_vs_event"] > 0
     assert flexray["batch_speedup_vs_legacy"] > 0
+    can = payload["can_cosim"]
+    assert can["scenario"] == "can-cosim"
+    assert can["kernel_used"] == "event"
+    assert can["cosim_seconds"] > 0
+    assert can["network_stats"]["delivered"] > 0
     assert payload["speedup_process_vs_thread"] > 0

@@ -116,6 +116,52 @@ def worst_case_response_time(
     )
 
 
+#: Worst-case non-payload bits of an 11-bit-identifier CAN data frame
+#: (SOF, arbitration, control, CRC, ACK, EOF, interframe space), the
+#: figure the co-simulable bus model charges per frame.
+CAN_FRAME_OVERHEAD_BITS = 47
+
+
+def frame_transmission_time(
+    payload_bits: int,
+    bit_time: float,
+    overhead_bits: int = CAN_FRAME_OVERHEAD_BITS,
+) -> float:
+    """Wire time ``C`` of one frame: ``(overhead + payload) * bit_time``."""
+    check_positive(bit_time, "bit_time")
+    check_nonnegative(payload_bits, "payload_bits")
+    return (overhead_bits + payload_bits) * bit_time
+
+
+def message_from_frame(
+    spec,
+    period: float,
+    *,
+    bit_time: float,
+    overhead_bits: int = CAN_FRAME_OVERHEAD_BITS,
+    jitter: float = 0.0,
+    deadline: Optional[float] = None,
+) -> CanMessage:
+    """The RTA view of a co-simulated CAN frame.
+
+    ``spec`` is a :class:`~repro.flexray.frame.FrameSpec` (duck-typed:
+    ``frame_id``, ``payload_bits``, ``sender``).  Priority is the frame
+    identifier (CAN arbitration order) and the transmission time is
+    exactly what :class:`~repro.sim.network.can.CanBusNetwork` charges,
+    so simulated waits are directly comparable to the analytic bound.
+    """
+    return CanMessage(
+        name=spec.sender or f"frame-{spec.frame_id}",
+        period=period,
+        transmission=frame_transmission_time(
+            spec.payload_bits, bit_time, overhead_bits
+        ),
+        priority=spec.frame_id,
+        jitter=jitter,
+        deadline=deadline,
+    )
+
+
 def analyze_message_set(messages: Sequence[CanMessage]) -> List[CanResponse]:
     """Response-time analysis of every message against the others."""
     return [
@@ -130,9 +176,12 @@ def bus_utilization(messages: Sequence[CanMessage]) -> float:
 
 
 __all__ = [
+    "CAN_FRAME_OVERHEAD_BITS",
     "CanMessage",
     "CanResponse",
     "analyze_message_set",
     "bus_utilization",
+    "frame_transmission_time",
+    "message_from_frame",
     "worst_case_response_time",
 ]

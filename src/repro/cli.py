@@ -17,6 +17,7 @@ Usage::
     python -m repro worker --connect HOST:PORT [--id NAME]
     python -m repro serve [--host H] [--port P] [--pool-size N]
     python -m repro solvers
+    python -m repro networks
     python -m repro lint [paths ...] [--rule ID] [--json]
 
 Every command accepts ``--json`` to emit machine-readable results
@@ -412,6 +413,28 @@ def _cmd_solvers(args):
     return text, table
 
 
+def _cmd_networks(args):
+    """List registered network backends with their capability metadata."""
+    from repro.sim.network import network_table
+
+    table = network_table()
+    rows = [
+        [
+            spec["name"],
+            "yes" if spec["deterministic"] else "no",
+            "yes" if spec["analytic_delays"] else "no",
+            spec["batch"] if spec["batch"] is not None else "-",
+            spec["loss"],
+            spec["summary"],
+        ]
+        for spec in table
+    ]
+    text = "Registered network backends\n" + format_table(
+        ["name", "deterministic", "analytic", "batch", "loss", "summary"], rows
+    )
+    return text, {"networks": table}
+
+
 def _cmd_all(args):
     """Regenerate every artefact in one pass (paper-exact parts first)."""
     sections = [
@@ -705,6 +728,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered allocator/analysis backends and capabilities",
     )
 
+    sub.add_parser(
+        "networks",
+        parents=[common],
+        help="list registered co-simulation network backends and capabilities",
+    )
+
     p_lint = sub.add_parser(
         "lint",
         parents=[common],
@@ -754,6 +783,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "serve": _cmd_serve,
     "solvers": _cmd_solvers,
+    "networks": _cmd_networks,
     "lint": _cmd_lint,
     "all": _cmd_all,
 }

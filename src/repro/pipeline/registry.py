@@ -250,6 +250,19 @@ register_scenario(
         network="analytic",
     )
 )
+register_scenario(
+    Scenario(
+        name="can-cosim",
+        description=(
+            "Figure 5 fleet co-simulated over a priority-arbitrated "
+            "500 kbit/s CAN bus (non-preemptive, lowest frame id wins; "
+            "event kernel — arbitration is contention-dependent)"
+        ),
+        source="simulation",
+        cosim=True,
+        network="can",
+    )
+)
 
 
 __all__ = [

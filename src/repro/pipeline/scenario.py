@@ -39,8 +39,11 @@ ALLOCATORS = (
     "branch-and-bound",
     "anneal",
 )
-#: Co-simulation network models.
-NETWORKS = ("analytic", "flexray")
+#: Built-in co-simulation network backends.  Like METHODS/ALLOCATORS
+#: this tuple documents what ships in the box; validation runs against
+#: the live :mod:`repro.sim.network` registry, so third-party backends
+#: registered with ``register_network`` are accepted too.
+NETWORKS = ("analytic", "can", "flexray")
 # Co-simulation kernels: KERNELS is re-exported from repro.sim.cosim
 # (imported above) so the accepted names live in one place.  "auto"
 # (default) picks the batched analytic fast path when the fleet is
@@ -122,7 +125,11 @@ class Scenario:
     cosim:
         Whether to run the co-simulation verification stage.
     network:
-        Co-simulation network model (``"analytic"`` or ``"flexray"``).
+        Co-simulation network backend (any name in the
+        :mod:`repro.sim.network` registry; ``"analytic"``,
+        ``"flexray"`` and ``"can"`` ship in the box).  Like
+        ``allocator``, names are validated at construction time against
+        the live registry.
     horizon:
         Co-simulation length in seconds; ``None`` derives
         1.2x the largest deadline.
@@ -143,8 +150,11 @@ class Scenario:
         Base random seed for sporadic disturbance arrivals and FlexRay
         frame-loss injection; replication sweeps vary it per cell.
     loss_rate:
-        FlexRay frame-corruption probability in ``[0, 1)`` (ignored by
-        the analytic network).
+        Frame-corruption probability in ``[0, 1)``, fed to the network
+        backend's seeded i.i.d. loss process (FlexRay's historical
+        ``loss_rate``; the CAN backend wraps itself in
+        :class:`~repro.sim.network.IIDLoss`; ignored by the analytic
+        network).
     """
 
     name: str
@@ -172,7 +182,7 @@ class Scenario:
         _check_choice("dwell_shape", self.dwell_shape, DWELL_SHAPES)
         _check_registered_method(self.method)
         _check_registered_allocator(self.allocator)
-        _check_choice("network", self.network, NETWORKS)
+        _check_registered_network(self.network)
         if self.apps is not None:
             object.__setattr__(self, "apps", tuple(str(a) for a in self.apps))
         if self.deadline_scale <= 0:
@@ -284,6 +294,18 @@ def _check_registered_method(value: str) -> None:
     except UnknownSolverError as exc:
         raise ValueError(
             f"{exc} (register your own with repro.solvers.register_analysis_method)"
+        ) from None
+
+
+def _check_registered_network(value: str) -> None:
+    """Same registry-backed validation for the network backend."""
+    from repro.sim.network import UnknownNetworkError, get_network
+
+    try:
+        get_network(value)
+    except UnknownNetworkError as exc:
+        raise ValueError(
+            f"{exc} (register your own with repro.sim.network.register_network)"
         ) from None
 
 

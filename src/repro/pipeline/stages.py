@@ -24,19 +24,13 @@ from repro.core.pwl import from_timing_parameters
 from repro.core.schedulability import AnalyzedApplication, is_slot_schedulable
 from repro.core.sensitivity import static_segment_usage
 from repro.core.timing_params import PAPER_TABLE_I, TimingParameters
-from repro.flexray.bus import FlexRayBus
 from repro.flexray.frame import FrameSpec
 from repro.flexray.params import paper_bus_config
 from repro.pipeline.cache import DwellCurveCache
 from repro.pipeline.scenario import Scenario
 from repro.pipeline.serialize import to_jsonable
-from repro.sim.cosim import (
-    AnalyticNetwork,
-    CoSimApplication,
-    CoSimulator,
-    FlexRayNetwork,
-    NetworkModel,
-)
+from repro.sim.cosim import CoSimApplication, CoSimulator
+from repro.sim.network import build_network
 from repro.sim.trace import SimulationTrace
 
 #: Canonical stage order.
@@ -362,16 +356,16 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
                 frame=FrameSpec(frame_id=index + 1, sender=case_app.name),
             )
         )
-    network: NetworkModel
-    if scenario.network == "flexray":
-        config = scenario.bus.to_config() if scenario.bus else paper_bus_config()
-        network = FlexRayNetwork(
-            bus=FlexRayBus(config=config),
-            loss_rate=scenario.loss_rate,
-            loss_seed=scenario.seed,
-        )
-    else:
-        network = AnalyticNetwork()
+    # Backends resolve by registry name (see repro.sim.network), so a
+    # third-party network registered under a new name runs here with no
+    # pipeline changes — the same dispatch stage_allocate does through
+    # the solver registry.
+    network = build_network(
+        scenario.network,
+        bus=scenario.bus.to_config() if scenario.bus else None,
+        loss_rate=scenario.loss_rate,
+        seed=scenario.seed,
+    )
     simulator = CoSimulator(cosim_apps, network, kernel=scenario.kernel)
     ctx.trace = simulator.run(horizon)
     rows = []
@@ -406,6 +400,11 @@ def stage_cosim(ctx: StudyContext) -> Dict[str, Any]:
             "lost": network.lost,
             "clamped": network.clamped,
         }
+    elif scenario.network != "analytic" and hasattr(network, "statistics"):
+        # Newer protocol backends (CAN, third-party): record their own
+        # counters; the flexray/analytic blocks above stay byte-stable
+        # for existing consumers.
+        artifact["network_stats"] = to_jsonable(network.statistics())
     return artifact
 
 

@@ -2,21 +2,34 @@
 
 Discrete-event kernel, periodic task/ECU model, non-preemptive TT-slot
 arbiter, the Figure 1 threshold-switching runtime, the multi-application
-co-simulator, and trace recording for Figure 5.
+co-simulator, the pluggable network-backend registry
+(:mod:`repro.sim.network`), and trace recording for Figure 5.
 """
 
 from repro.sim.arbiter import SlotClient, SlotState, TTSlotArbiter
 from repro.sim.batch import batch_capability, batch_eligible
 from repro.sim.cosim import (
     KERNELS,
-    AnalyticNetwork,
     CoSimApplication,
     CoSimulator,
-    Delivery,
-    FlexRayNetwork,
-    Submission,
 )
 from repro.sim.events import EventQueue
+from repro.sim.network import (
+    AnalyticNetwork,
+    CanBusNetwork,
+    Delivery,
+    FlexRayNetwork,
+    GilbertElliottLoss,
+    IIDLoss,
+    LossyNetwork,
+    NetworkCapabilities,
+    NetworkModel,
+    Submission,
+    build_network,
+    check_network_model,
+    network_names,
+    register_network,
+)
 from repro.sim.runtime import CommState, DisturbanceRecord, SwitchingRuntime
 from repro.sim.stats import Welford, t_critical_95
 from repro.sim.stepper import (
@@ -36,6 +49,7 @@ __all__ = [
     "BackgroundTraffic",
     "TrafficStream",
     "heavy_background_traffic",
+    "CanBusNetwork",
     "CoSimApplication",
     "CoSimulator",
     "CommState",
@@ -46,9 +60,18 @@ __all__ = [
     "EventQueue",
     "FlexRayNetwork",
     "GLOBAL_ZOH_CACHE",
+    "GilbertElliottLoss",
+    "IIDLoss",
     "KERNELS",
+    "LossyNetwork",
+    "NetworkCapabilities",
+    "NetworkModel",
     "batch_capability",
     "batch_eligible",
+    "build_network",
+    "check_network_model",
+    "network_names",
+    "register_network",
     "PeriodicTask",
     "PlantStepperBank",
     "SimulationTrace",

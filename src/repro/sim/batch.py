@@ -1,11 +1,12 @@
 """Batched analytic-network fast path for the co-simulator.
 
 When every application in a fleet rides an
-:class:`~repro.sim.cosim.AnalyticNetwork`, sensor-to-actuator delays are
-state-independent constants per communication mode — nothing on the bus
+:class:`~repro.sim.network.AnalyticNetwork`, sensor-to-actuator delays
+are state-independent constants per communication mode — nothing on the
+bus
 depends on contention.  The event kernel still pays full freight for
 that fleet: queue pushes and pops per tick, network submit/advance
-round-trips, :class:`~repro.sim.cosim.Submission` objects, and delay
+round-trips, :class:`~repro.sim.network.Submission` objects, and delay
 equalization recomputed per sample.  This module removes all of it:
 
 * per-application **sampling-tick grids** are precomputed up front (the
@@ -28,22 +29,23 @@ controls, plant sweeps), same float products for every recorded time,
 norm and delay.  The test suite asserts trace equality against both the
 event and the legacy kernel.
 
-Eligibility is a **capability check**: :func:`batch_capability` names
-which precomputation strategy covers a fleet —
+Eligibility is a **capability check**: :func:`batch_capability` asks
+the network's own ``capabilities()`` descriptor (the frozen
+:mod:`repro.sim.network` protocol) which precomputation strategy it
+opts into —
 
-* ``"analytic"`` — the network is *exactly* an
-  :class:`AnalyticNetwork` (a subclass could override the delay model,
-  so it falls back): every delay is a per-mode constant;
-* ``"flexray"`` — the network is exactly a
-  :class:`~repro.sim.cosim.FlexRayNetwork` whose schedule is
-  deterministic: ``loss_rate == 0``, no background dynamic-segment
-  traffic, stock bus/segment classes and a cold bus (see
-  :func:`repro.sim.batch_flexray.flexray_deterministic`).  The static
-  segment is TDMA, so every grant and transmission instant follows from
-  the slot table and is replayed ahead of the event loop by
-  :class:`~repro.sim.batch_flexray._FlexRaySchedule`;
+* ``"analytic"`` — delays are per-mode constants (claimed by stock
+  :class:`~repro.sim.network.AnalyticNetwork` instances; subclasses
+  could override the delay model, so they never inherit the claim);
+* ``"flexray"`` — a deterministic FlexRay schedule: ``loss_rate == 0``,
+  no background dynamic-segment traffic, stock bus/segment classes and
+  a cold bus (see :func:`repro.sim.batch_flexray.flexray_deterministic`).
+  The static segment is TDMA, so every grant and transmission instant
+  follows from the slot table and is replayed ahead of the event loop
+  by :class:`~repro.sim.batch_flexray._FlexRaySchedule`;
 * ``None`` — anything else (frame loss, dynamic-segment contention,
-  subclassed networks) runs on the event kernel;
+  subclasses that do not re-claim a strategy, capability-less
+  duck-types) runs on the event kernel;
   :class:`~repro.sim.cosim.CoSimulator` handles the fallback
   transparently for ``kernel="batch"`` and ``kernel="auto"`` and
   records the choice in the cosim artifact's ``kernel_used``.
@@ -71,7 +73,8 @@ import numpy as np
 # time (only lazily inside CoSimulator.run), so there is no cycle.
 # Sharing _TIME_TOL matters — the disturbance-to-tick mapping must use
 # the exact same ceil() product as the event kernel.
-from repro.sim.cosim import _TIME_TOL, AnalyticNetwork, FlexRayNetwork
+from repro.sim.cosim import _TIME_TOL
+from repro.sim.network.protocol import BATCH_STRATEGIES
 from repro.sim.runtime import CommState
 from repro.sim.stepper import (
     GLOBAL_ZOH_CACHE,
@@ -88,41 +91,46 @@ if TYPE_CHECKING:  # pragma: no cover
 def batch_capability(sim: "CoSimulator") -> Optional[str]:
     """Which batch precomputation strategy covers this co-simulation.
 
-    * ``"analytic"`` — the network is exactly an
-      :class:`~repro.sim.cosim.AnalyticNetwork`: every delay is a
-      per-mode constant and the network needs no cycle-accurate
-      stepping.
-    * ``"flexray"`` — the network is exactly a
-      :class:`~repro.sim.cosim.FlexRayNetwork` with a deterministic
-      schedule (``loss_rate == 0``, no background dynamic-segment
-      traffic, stock bus/segment classes, cold bus): every grant and
-      transmission instant follows from the slot table and can be
-      replayed ahead of the loop.
+    The network *describes itself*: its ``capabilities()`` descriptor
+    (see :class:`repro.sim.network.NetworkCapabilities`) names the
+    strategy it opts into, so third-party backends can claim a fast
+    path without this module knowing their classes.
+
+    * ``"analytic"`` — delays are per-mode constants
+      (``tt_delay``/``et_delay``); the network needs no cycle-accurate
+      stepping.  Claimed by stock
+      :class:`~repro.sim.network.AnalyticNetwork` instances.
+    * ``"flexray"`` — a deterministic FlexRay schedule (``loss_rate ==
+      0``, no background dynamic-segment traffic, stock bus/segment
+      classes, cold bus): every grant and transmission instant follows
+      from the slot table and can be replayed ahead of the loop.
+      Claimed by qualifying stock
+      :class:`~repro.sim.network.FlexRayNetwork` instances.
     * ``None`` — not batchable; the fleet runs on the event kernel.
 
-    Subclasses of either network are rejected (they may override the
-    delay or transport model), so they fall back to event cleanly.
+    The bundled backends never claim a strategy from a subclass (an
+    override could change the delay or transport model the strategy
+    replays), so subclasses fall back to event cleanly — unless they
+    deliberately override ``capabilities()`` to opt back in.  Networks
+    without a ``capabilities()`` descriptor (pre-protocol duck-types)
+    are never batched.
     """
-    network = sim.network
-    if type(network) is AnalyticNetwork:
-        return "analytic"
-    if type(network) is FlexRayNetwork:
-        from repro.sim.batch_flexray import flexray_deterministic
-
-        if flexray_deterministic(network):
-            return "flexray"
+    describe = getattr(sim.network, "capabilities", None)
+    if describe is None:
+        return None
+    strategy = describe().batch_strategy
+    if strategy in BATCH_STRATEGIES:
+        return strategy
     return None
 
 
 def batch_eligible(sim: "CoSimulator") -> bool:
     """Whether the batch fast path can run this co-simulation.
 
-    True iff :func:`batch_capability` names a strategy — the network is
-    exactly an :class:`~repro.sim.cosim.AnalyticNetwork`, or exactly a
-    :class:`~repro.sim.cosim.FlexRayNetwork` whose schedule is
-    deterministic (loss-free, static-slot-only, stock classes).
-    Anything else — frame loss, background dynamic-segment traffic,
-    subclassed networks — runs on the event kernel.
+    True iff :func:`batch_capability` names a strategy the kernel
+    implements.  Anything else — frame loss, background
+    dynamic-segment traffic, subclasses that do not re-claim a
+    strategy, capability-less duck-types — runs on the event kernel.
     """
     return batch_capability(sim) is not None
 

@@ -7,7 +7,7 @@ schedule walk cannot see.  This module exploits that determinism to
 extend the :mod:`repro.sim.batch` fast path to FlexRay fleets:
 
 * :func:`flexray_deterministic` is the capability check — a
-  :class:`~repro.sim.cosim.FlexRayNetwork` qualifies iff ``loss_rate ==
+  :class:`~repro.sim.network.FlexRayNetwork` qualifies iff ``loss_rate ==
   0`` (no RNG draws), there is no background traffic contending for the
   dynamic segment, and the bus is a pristine, unmodified
   :class:`~repro.flexray.bus.FlexRayBus` (exact types, cycle 0, empty
@@ -63,7 +63,7 @@ from repro.sim.runtime import CommState
 from repro.sim.stepper import delay_key
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.cosim import FlexRayNetwork
+    from repro.sim.network import FlexRayNetwork
 
 
 def flexray_deterministic(network: "FlexRayNetwork") -> bool:

@@ -36,17 +36,16 @@ Three simulation kernels are provided (``kernel=`` selects one;
   traces (they execute the same operations in the same order), which
   the test suite asserts.
 
-Two network models are provided:
-
-* :class:`AnalyticNetwork` — constant mode delays (TT: the configured
-  slot latency; ET: the worst-case bound).  Deterministic; this is the
-  model under which the controllers were designed.
-* :class:`FlexRayNetwork` — a cycle-accurate
-  :class:`~repro.flexray.bus.FlexRayBus`; ET delays vary with dynamic-
-  segment contention and TT delays follow the owned slot's window.
+Network backends live in the :mod:`repro.sim.network` package — a
+:class:`~repro.sim.network.NetworkModel` protocol, a decorator registry
+(``analytic``, ``flexray``, ``can`` bundled), composable loss processes
+and a conformance test kit.  :class:`AnalyticNetwork`,
+:class:`FlexRayNetwork`, :class:`Submission` and :class:`Delivery` are
+re-exported here for compatibility (their canonical home moved in the
+network-registry refactor).
 
 Multi-rate fleets need the incremental *event interface*
-(:meth:`event_submit` / :meth:`event_advance`), which both bundled
+(:meth:`event_submit` / :meth:`event_advance`), which all bundled
 models implement; third-party :class:`NetworkModel` objects that only
 provide the batch :meth:`~NetworkModel.sample_delays` remain fully
 supported for shared-period fleets.
@@ -55,21 +54,26 @@ supported for shared-period fleets.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Deque, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.control.controller import SwitchedApplication
 from repro.control.disturbance import DisturbanceEvent, DisturbanceProcess
 from repro.control.lti import ContinuousStateSpace
-from repro.flexray.bus import FlexRayBus
-from repro.flexray.frame import FrameSpec, Message
+from repro.flexray.frame import FrameSpec
 from repro.sim.arbiter import TTSlotArbiter
 from repro.sim.events import EventQueue
+from repro.sim.network import (
+    AnalyticNetwork,
+    Delivery,
+    FlexRayNetwork,
+    NetworkModel,
+    Submission,
+)
 from repro.sim.stepper import PlantStepperBank
-from repro.sim.traffic import BackgroundTraffic
 from repro.sim.runtime import CommState, SwitchingRuntime
 from repro.sim.trace import AppTrace, SimulationTrace
 from repro.utils.validation import check_positive
@@ -77,190 +81,6 @@ from repro.utils.validation import check_positive
 #: Tolerance for grouping sampling instants of different applications
 #: onto one barrier (float noise in ``k * period`` products).
 _TIME_TOL = 1e-12
-
-
-@dataclass(frozen=True)
-class Submission:
-    """One control message ready for the bus at a sampling instant."""
-
-    name: str
-    spec: FrameSpec
-    uses_tt: bool
-    slot: Optional[int]
-    release_time: float
-
-
-@dataclass(frozen=True)
-class Delivery:
-    """One message's fate, reported through the event interface."""
-
-    name: str
-    release_time: float
-    delivery_time: float
-    lost: bool = False
-
-
-class NetworkModel(Protocol):
-    """Delay provider for one sampling interval."""
-
-    def sample_delays(
-        self, time: float, period: float, submissions: Sequence[Submission]
-    ) -> Dict[str, float]:
-        """Sensor-to-actuator delay for each submission, keyed by name."""
-        ...  # pragma: no cover
-
-    def on_slot_change(
-        self, slot: int, spec: Optional[FrameSpec]
-    ) -> None:  # pragma: no cover
-        """Told whenever TT-slot ownership changes (spec None = released)."""
-        ...
-
-
-@dataclass
-class AnalyticNetwork:
-    """Constant worst-case delays (the design-time model)."""
-
-    tt_delay: float = 0.0007
-    et_delay: float = 0.020
-    _pending: List[Submission] = field(
-        init=False, repr=False, default_factory=list
-    )
-
-    def sample_delays(self, time, period, submissions):
-        delays = {}
-        for sub in submissions:
-            delays[sub.name] = min(self.tt_delay if sub.uses_tt else self.et_delay, period)
-        return delays
-
-    def on_slot_change(self, slot, spec):
-        pass  # ownership is irrelevant for constant delays
-
-    # -- event interface (multi-rate kernels) -----------------------------
-
-    def event_submit(self, time, window_end, submissions):
-        self._pending.extend(submissions)
-
-    def event_advance(self, time):
-        out = [
-            Delivery(
-                name=sub.name,
-                release_time=sub.release_time,
-                delivery_time=sub.release_time
-                + (self.tt_delay if sub.uses_tt else self.et_delay),
-            )
-            for sub in self._pending
-        ]
-        self._pending = []
-        return out
-
-
-@dataclass
-class FlexRayNetwork:
-    """Delays from a cycle-accurate FlexRay bus simulation.
-
-    Messages that fail to arrive within one sampling period are clamped
-    to ``period`` (the actuator holds the previous input for the whole
-    interval) and counted in :attr:`clamped`.  Optional background
-    traffic (see :mod:`repro.sim.traffic`) contends for the dynamic
-    segment alongside the control messages.
-    """
-
-    bus: FlexRayBus
-    traffic: Optional["BackgroundTraffic"] = None
-    loss_rate: float = 0.0
-    loss_seed: int = 0
-    clamped: int = 0
-    lost: int = 0
-    _inflight: Dict[int, str] = field(default_factory=dict)
-    _rng: Optional[np.random.Generator] = field(init=False, default=None)
-
-    def __post_init__(self):
-        if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError(f"loss_rate must lie in [0, 1), got {self.loss_rate}")
-        if self.loss_rate > 0.0:
-            self._rng = np.random.default_rng(self.loss_seed)
-
-    def sample_delays(self, time, period, submissions):
-        if self.traffic is not None:
-            for message in self.traffic.messages_between(time, time + period):
-                self.bus.submit_et(message)
-        for sub in submissions:
-            message = Message(spec=sub.spec, release_time=sub.release_time)
-            self._inflight[message.sequence] = sub.name
-            if sub.uses_tt:
-                self.bus.submit_tt(message)
-            else:
-                self.bus.submit_et(message)
-        delivered = self.bus.advance_to(time + period)
-        delays: Dict[str, float] = {}
-        for message in delivered:
-            name = self._inflight.pop(message.sequence, None)
-            if name is None:
-                continue  # stale message from an earlier interval
-            if self._rng is not None and self._rng.random() < self.loss_rate:
-                # Failure injection: the frame was corrupted on the wire.
-                # Report an infinite delay; the co-simulator holds the
-                # previous input for the whole period and never latches
-                # the lost command.
-                self.lost += 1
-                delays[name] = float("inf")
-                continue
-            if message.release_time >= time - 1e-12:
-                delays[name] = min(message.delivery_time - time, period)
-        for sub in submissions:
-            if sub.name not in delays:
-                delays[sub.name] = period
-                self.clamped += 1
-        return delays
-
-    def on_slot_change(self, slot, spec):
-        if spec is None:
-            self.bus.release_slot(slot)
-        else:
-            self.bus.release_slot(slot)
-            self.bus.grant_slot(slot, spec)
-
-    # -- event interface (multi-rate kernels) -----------------------------
-
-    def event_submit(self, time, window_end, submissions):
-        """Queue background traffic for ``[time, window_end)`` plus the
-        control messages released at ``time``; the bus advances later."""
-        if self.traffic is not None:
-            for message in self.traffic.messages_between(time, window_end):
-                self.bus.submit_et(message)
-        for sub in submissions:
-            message = Message(spec=sub.spec, release_time=sub.release_time)
-            self._inflight[message.sequence] = sub.name
-            if sub.uses_tt:
-                self.bus.submit_tt(message)
-            else:
-                self.bus.submit_et(message)
-
-    def event_advance(self, time):
-        """Run whole bus cycles up to ``time``; report every delivery
-        (the kernel matches releases against its in-flight records)."""
-        out = []
-        for message in self.bus.advance_to(time):
-            name = self._inflight.pop(message.sequence, None)
-            if name is None:
-                continue
-            lost = False
-            if self._rng is not None and self._rng.random() < self.loss_rate:
-                self.lost += 1
-                lost = True
-            out.append(
-                Delivery(
-                    name=name,
-                    release_time=message.release_time,
-                    delivery_time=message.delivery_time,
-                    lost=lost,
-                )
-            )
-        return out
-
-    def event_clamped(self):
-        """A message missed its whole sampling interval (kernel hook)."""
-        self.clamped += 1
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,207 @@
+"""The cycle-accurate FlexRay network backend.
+
+Re-homed from ``repro.sim.cosim`` (which still re-exports it).  The
+``loss_rate`` machinery now delegates to
+:class:`~repro.sim.network.loss.IIDLoss`, bit-for-bit: the same
+``np.random.default_rng(loss_seed)`` stream, one draw per delivered
+control message, drawn *before* the staleness check — every historical
+trace replays unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.flexray.bus import FlexRayBus
+from repro.flexray.frame import Message
+from repro.sim.network.loss import IIDLoss
+from repro.sim.network.protocol import (
+    Delivery,
+    NetworkCapabilities,
+    NetworkModel,
+)
+from repro.sim.network.registry import register_network
+from repro.sim.traffic import BackgroundTraffic
+
+
+@dataclass
+class FlexRayNetwork(NetworkModel):
+    """Delays from a cycle-accurate FlexRay bus simulation.
+
+    Messages that fail to arrive within one sampling period are clamped
+    to ``period`` (the actuator holds the previous input for the whole
+    interval) and counted in :attr:`clamped`.  Optional background
+    traffic (see :mod:`repro.sim.traffic`) contends for the dynamic
+    segment alongside the control messages.
+    """
+
+    bus: FlexRayBus
+    traffic: Optional["BackgroundTraffic"] = None
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    clamped: int = 0
+    lost: int = 0
+    _inflight: Dict[int, str] = field(default_factory=dict)
+    _loss: Optional[IIDLoss] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must lie in [0, 1), got {self.loss_rate}")
+        if self.loss_rate > 0.0:
+            self._loss = IIDLoss(rate=self.loss_rate, seed=self.loss_seed)
+
+    def sample_delays(self, time, period, submissions):
+        if self.traffic is not None:
+            for message in self.traffic.messages_between(time, time + period):
+                self.bus.submit_et(message)
+        for sub in submissions:
+            message = Message(spec=sub.spec, release_time=sub.release_time)
+            self._inflight[message.sequence] = sub.name
+            if sub.uses_tt:
+                self.bus.submit_tt(message)
+            else:
+                self.bus.submit_et(message)
+        delivered = self.bus.advance_to(time + period)
+        delays: Dict[str, float] = {}
+        for message in delivered:
+            name = self._inflight.pop(message.sequence, None)
+            if name is None:
+                continue  # stale message from an earlier interval
+            if self._loss is not None and self._loss.sample():
+                # Failure injection: the frame was corrupted on the wire.
+                # Report an infinite delay; the co-simulator holds the
+                # previous input for the whole period and never latches
+                # the lost command.
+                self.lost += 1
+                delays[name] = float("inf")
+                continue
+            if message.release_time >= time - 1e-12:
+                delays[name] = min(message.delivery_time - time, period)
+        for sub in submissions:
+            if sub.name not in delays:
+                delays[sub.name] = period
+                self.clamped += 1
+        return delays
+
+    def on_slot_change(self, slot, spec):
+        if spec is None:
+            self.bus.release_slot(slot)
+        else:
+            self.bus.release_slot(slot)
+            self.bus.grant_slot(slot, spec)
+
+    # -- event interface (multi-rate kernels) -----------------------------
+
+    def event_submit(self, time, window_end, submissions):
+        """Queue background traffic for ``[time, window_end)`` plus the
+        control messages released at ``time``; the bus advances later."""
+        if self.traffic is not None:
+            for message in self.traffic.messages_between(time, window_end):
+                self.bus.submit_et(message)
+        for sub in submissions:
+            message = Message(spec=sub.spec, release_time=sub.release_time)
+            self._inflight[message.sequence] = sub.name
+            if sub.uses_tt:
+                self.bus.submit_tt(message)
+            else:
+                self.bus.submit_et(message)
+
+    def event_advance(self, time):
+        """Run whole bus cycles up to ``time``; report every delivery
+        (the kernel matches releases against its in-flight records)."""
+        out = []
+        for message in self.bus.advance_to(time):
+            name = self._inflight.pop(message.sequence, None)
+            if name is None:
+                continue
+            lost = False
+            if self._loss is not None and self._loss.sample():
+                self.lost += 1
+                lost = True
+            out.append(
+                Delivery(
+                    name=name,
+                    release_time=message.release_time,
+                    delivery_time=message.delivery_time,
+                    lost=lost,
+                )
+            )
+        return out
+
+    def event_clamped(self):
+        """A message missed its whole sampling interval (kernel hook)."""
+        self.clamped += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Fresh bus (same configuration), rewound loss stream."""
+        self.bus = FlexRayBus(config=self.bus.config, bit_time=self.bus.bit_time)
+        self._inflight = {}
+        self.clamped = 0
+        self.lost = 0
+        if self._loss is not None:
+            self._loss.reset()
+
+    def statistics(self) -> Dict[str, Any]:
+        stats = self.bus.statistics
+        return {
+            "cycles": stats.cycles,
+            "tt_deliveries": stats.tt_deliveries,
+            "et_deliveries": stats.et_deliveries,
+            "unused_static_slots": stats.unused_static_slots,
+            "clamped": self.clamped,
+            "lost": self.lost,
+        }
+
+    def capabilities(self) -> NetworkCapabilities:
+        # State-dependent by design: the batch strategy replays the
+        # static slot table arithmetically, so it only covers pristine
+        # loss-free stock-class instances (the same predicate the batch
+        # kernel has always enforced).  Subclasses never inherit the
+        # opt-in — override capabilities() to claim it deliberately.
+        from repro.sim.batch_flexray import flexray_deterministic
+
+        batch = None
+        if type(self) is FlexRayNetwork and flexray_deterministic(self):
+            batch = "flexray"
+        return NetworkCapabilities(
+            deterministic=self.loss_rate == 0.0,
+            analytic_delays=False,
+            batch_strategy=batch,
+            loss="iid" if self.loss_rate > 0.0 else "none",
+        )
+
+
+@register_network(
+    "flexray",
+    summary="cycle-accurate FlexRay bus (TDMA static segment + minislot dynamic segment)",
+    deterministic=True,
+    analytic_delays=False,
+    batch="flexray",
+    loss="iid",
+)
+def _build_flexray(
+    *,
+    bus: Any = None,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+    traffic: Optional[BackgroundTraffic] = None,
+) -> FlexRayNetwork:
+    """Factory: ``bus`` is a :class:`~repro.flexray.params.FlexRayConfig`
+    (the paper's configuration when ``None``); ``loss_rate``/``seed``
+    drive the historical i.i.d. loss stream."""
+    if bus is None:
+        from repro.flexray.params import paper_bus_config
+
+        bus = paper_bus_config()
+    return FlexRayNetwork(
+        bus=FlexRayBus(config=bus),
+        traffic=traffic,
+        loss_rate=loss_rate,
+        loss_seed=seed,
+    )
+
+
+__all__ = ["FlexRayNetwork"]

@@ -1,0 +1,142 @@
+"""Pluggable loss processes: legacy parity and burst models (ISSUE 9).
+
+The frozen-contract bar for the loss refactor: composing a *loss-free*
+FlexRay transport with a seeded :class:`IIDLoss` through
+:class:`LossyNetwork` replays the legacy ``FlexRayNetwork(loss_rate=...)``
+path **bit for bit** — same traces, same loss counters, same RNG draw
+order — on the Figure 5 fleet.  Gilbert–Elliott adds bursty loss while
+keeping seeded determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.disturbance import SporadicDisturbance
+from repro.experiments import traces_bitwise_equal
+from repro.flexray import FlexRayBus, paper_bus_config
+from repro.sim import CoSimulator
+from repro.sim.network import (
+    FlexRayNetwork,
+    GilbertElliottLoss,
+    IIDLoss,
+    LossyNetwork,
+)
+from test_cosim_event import shared_fleet
+
+RATE, SEED = 0.3, 7
+
+
+def _dist(i):
+    return SporadicDisturbance(min_inter_arrival=2.0, mean_extra_gap=0.7, seed=i)
+
+
+def _legacy_lossy():
+    return FlexRayNetwork(
+        bus=FlexRayBus(config=paper_bus_config()), loss_rate=RATE, loss_seed=SEED
+    )
+
+
+def _composed_lossy():
+    return LossyNetwork(
+        inner=FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config())),
+        loss=IIDLoss(rate=RATE, seed=SEED),
+    )
+
+
+class TestIIDLegacyParity:
+    def test_event_kernel_traces_bitwise_equal(self):
+        """Fig. 5 fleet: wrapper loss == built-in loss, bit for bit."""
+        builtin_net, wrapper_net = _legacy_lossy(), _composed_lossy()
+        builtin = CoSimulator(shared_fleet(_dist), builtin_net).run(9.0)
+        composed = CoSimulator(shared_fleet(_dist), wrapper_net).run(9.0)
+        assert traces_bitwise_equal(builtin, composed)
+        assert builtin_net.lost > 0  # the comparison actually lost frames
+        assert wrapper_net.lost == builtin_net.lost
+
+    def test_legacy_kernel_traces_bitwise_equal(self):
+        """The polling kernel samples through ``sample_delays``; the
+        wrapper must replay the legacy draw order there too."""
+        builtin_net, wrapper_net = _legacy_lossy(), _composed_lossy()
+        builtin = CoSimulator(
+            shared_fleet(_dist), builtin_net, legacy=True
+        ).run(9.0)
+        composed = CoSimulator(
+            shared_fleet(_dist), wrapper_net, legacy=True
+        ).run(9.0)
+        assert traces_bitwise_equal(builtin, composed)
+        assert wrapper_net.lost == builtin_net.lost
+
+    def test_zero_rate_consumes_no_randomness(self):
+        """rate == 0 must not create or advance an RNG (the loss-free
+        path's determinism contract)."""
+        loss = IIDLoss(rate=0.0, seed=SEED)
+        loss.reset()
+        assert not any(loss.sample() for _ in range(100))
+        fresh = np.random.default_rng(SEED)
+        lossy = IIDLoss(rate=RATE, seed=SEED)
+        lossy.reset()
+        draws = [lossy.sample() for _ in range(50)]
+        assert draws == [bool(fresh.random() < RATE) for _ in range(50)]
+
+    def test_reset_replays_the_same_pattern(self):
+        loss = IIDLoss(rate=RATE, seed=SEED)
+        loss.reset()
+        first = [loss.sample() for _ in range(200)]
+        loss.reset()
+        assert [loss.sample() for _ in range(200)] == first
+
+    def test_empirical_rate_tracks_nominal(self):
+        loss = IIDLoss(rate=0.25, seed=123)
+        loss.reset()
+        hits = sum(loss.sample() for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.25, abs=0.02)
+
+
+class TestGilbertElliott:
+    def test_seeded_determinism(self):
+        def pattern(seed):
+            loss = GilbertElliottLoss(seed=seed)
+            loss.reset()
+            return [loss.sample() for _ in range(500)]
+
+        assert pattern(3) == pattern(3)
+        assert pattern(3) != pattern(4)
+
+    def test_losses_cluster_in_bursts(self):
+        """With a lossless good state, every loss happens inside a bad
+        burst — so losses are far more likely to follow a loss than to
+        follow a success (the model's whole point vs IID)."""
+        loss = GilbertElliottLoss(
+            p_good_to_bad=0.02,
+            p_bad_to_good=0.25,
+            p_loss_good=0.0,
+            p_loss_bad=0.8,
+            seed=11,
+        )
+        loss.reset()
+        samples = [loss.sample() for _ in range(50_000)]
+        after_loss = [b for a, b in zip(samples, samples[1:]) if a]
+        after_ok = [b for a, b in zip(samples, samples[1:]) if not a]
+        assert sum(after_loss) / len(after_loss) > 4 * (
+            sum(after_ok) / len(after_ok)
+        )
+
+    def test_cosimulates_over_flexray(self):
+        """A bursty channel drops frames end-to-end and the run stays
+        seed-deterministic."""
+
+        def net():
+            return LossyNetwork(
+                inner=FlexRayNetwork(bus=FlexRayBus(config=paper_bus_config())),
+                loss=GilbertElliottLoss(
+                    p_good_to_bad=0.2, p_bad_to_good=0.3, p_loss_bad=0.9, seed=5
+                ),
+            )
+
+        first_net, second_net = net(), net()
+        first = CoSimulator(shared_fleet(_dist), first_net).run(9.0)
+        second = CoSimulator(shared_fleet(_dist), second_net).run(9.0)
+        assert traces_bitwise_equal(first, second)
+        assert first_net.lost > 0
+        assert first_net.lost == second_net.lost
+        assert first_net.capabilities().loss == "gilbert-elliott"

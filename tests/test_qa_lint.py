@@ -206,6 +206,63 @@ class TestQA004RegistryLiterals:
         assert finding.rule_id == "QA004"
         assert "frist-fit" in finding.message
 
+    def test_unknown_network_keyword_fires_with_suggestion(self):
+        """Network literals resolve against the *live* backend registry."""
+        source = """\
+        from repro.pipeline import Scenario
+        s = Scenario(name="x", network="cna")
+        """
+        (finding,) = findings_for(source)
+        assert finding.rule_id == "QA004"
+        assert "cna" in finding.message
+        assert "can" in finding.message  # typo suggestion listed first
+
+    def test_unknown_network_on_build_network_fires(self):
+        source = """\
+        from repro.sim.network import build_network
+        net = build_network("token-ring")
+        """
+        (finding,) = findings_for(source)
+        assert finding.rule_id == "QA004"
+        assert "token-ring" in finding.message
+
+    def test_registered_network_literals_do_not_fire(self):
+        source = """\
+        from repro.pipeline import Scenario
+        from repro.sim.network import build_network, get_network
+        a = Scenario(name="x", network="can")
+        b = get_network("analytic")
+        c = build_network("flexray", loss_rate=0.1)
+        """
+        assert findings_for(source) == []
+
+    def test_freshly_registered_backend_is_a_legal_literal(self):
+        """A third-party registration extends what QA004 accepts —
+        the live-registry contract (the rule snapshots once per
+        process, so the snapshot is primed after registration)."""
+        from repro.qa.rules_structure import RegistryLiteralRule
+        from repro.sim.network import register_network, unregister_network
+
+        @register_network(
+            "test-qa-backend",
+            summary="QA004 live-registry fixture",
+            deterministic=True,
+            analytic_delays=True,
+            batch=None,
+            loss="none",
+        )
+        def _build(**kwargs):
+            raise AssertionError("lint never builds")
+
+        old_snapshot = RegistryLiteralRule._REGISTRIES
+        RegistryLiteralRule._REGISTRIES = None
+        try:
+            source = 'net = build_network("test-qa-backend")\n'
+            assert findings_for(source) == []
+        finally:
+            RegistryLiteralRule._REGISTRIES = old_snapshot
+            unregister_network("test-qa-backend")
+
     def test_unknown_kernel_on_derive_fires(self):
         assert ids(findings_for('v = base.derive(name="y", kernel="bogus")\n')) == ["QA004"]
 
