@@ -13,8 +13,10 @@ Usage::
     python -m repro study [--scenario NAME ...] [--grid] [--jobs N] [--seed N]
     python -m repro sweep [--scenario NAME] [--axis FIELD=V1,V2] [--replications N]
                           [--ci-target HW [--ci-relative] --max-replications N --budget N]
-                          [--fabric N [--worker-mode process] [--resume]]
+                          [--fabric N [--worker-mode process] [--resume]
+                           [--chaos-profile P --chaos-seed N]]
     python -m repro worker --connect HOST:PORT [--id NAME]
+                           [--chaos-profile P --chaos-seed N]
     python -m repro serve [--host H] [--port P] [--pool-size N]
     python -m repro solvers
     python -m repro networks
@@ -53,6 +55,7 @@ from repro.experiments import (
     run_threshold_sweep,
 )
 from repro.experiments.reporting import format_table
+from repro.fabric.resilience import CHAOS_PROFILES as _CHAOS_PROFILES
 from repro.pipeline.scenario import KERNELS
 from repro.pipeline.serialize import to_jsonable
 
@@ -246,6 +249,11 @@ def _cmd_sweep(args):
         return _run_fabric_sweep_cmd(args, base, axes)
     if args.resume:
         raise ValueError("--resume needs --fabric (it resumes a fabric JSONL)")
+    if args.chaos_profile is not None or args.chaos_seed is not None:
+        raise ValueError(
+            "--chaos-profile/--chaos-seed need --fabric (chaos storms "
+            "exercise the fleet's recovery machinery)"
+        )
     result = run_sweep(
         base,
         axes=axes,
@@ -271,7 +279,11 @@ def _run_fabric_sweep_cmd(args, base, axes):
 
     Bitwise identical to the serial path on the same spec; ``--resume``
     re-reads the ``--output`` JSONL as the done-set, so a killed sweep
-    continues where it stopped instead of recomputing landed rows.
+    continues where it stopped instead of recomputing landed rows (a
+    torn final line — the killed-writer artifact — is recovered and
+    reported).  ``--chaos-profile``/``--chaos-seed`` run the fleet
+    under a named seeded fault storm; the result must still match the
+    serial path bitwise.
     """
     from repro.fabric import run_fabric_sweep
 
@@ -285,6 +297,10 @@ def _run_fabric_sweep_cmd(args, base, axes):
         raise ValueError(f"--fabric needs at least 1 worker, got {args.fabric}")
     if args.resume and not args.output:
         raise ValueError("--resume needs --output (the JSONL to resume from)")
+    if args.chaos_seed is not None and args.chaos_profile is None:
+        raise ValueError(
+            "--chaos-seed needs --chaos-profile (the storm to seed)"
+        )
     result = run_fabric_sweep(
         base,
         axes=axes,
@@ -297,14 +313,25 @@ def _run_fabric_sweep_cmd(args, base, axes):
         jsonl_path=args.output,
         resume_path=args.output if args.resume else None,
         keep_results=False,
+        chaos_seed=args.chaos_seed,
+        chaos_profile=args.chaos_profile,
     )
     fabric = result.config.get("fabric", {})
     text = result.report()
     text += (
         f"\nfabric: {args.fabric} {args.worker_mode} worker(s), "
         f"{len(fabric.get('requeues', []))} requeue(s), "
-        f"{fabric.get('resumed', 0)} row(s) resumed"
+        f"{fabric.get('resumed', 0)} row(s) resumed, "
+        f"{fabric.get('recovered_tail', 0)} torn row(s) recovered"
     )
+    if args.chaos_profile is not None:
+        chaos = fabric.get("chaos", {})
+        text += (
+            f"\nchaos: profile {chaos.get('profile')} seed {chaos.get('seed')}, "
+            f"{fabric.get('protocol_errors', 0)} protocol error(s), "
+            f"{fabric.get('read_timeouts', 0)} read timeout(s), "
+            f"{fabric.get('duplicates_ignored', 0)} duplicate(s) ignored"
+        )
     if args.output:
         text += f"\nper-run JSONL streamed to {args.output}"
     return text, result.to_dict()
@@ -312,18 +339,34 @@ def _run_fabric_sweep_cmd(args, base, axes):
 
 def _cmd_worker(args):
     """``repro worker --connect HOST:PORT``: one fabric worker loop."""
-    from repro.fabric import FabricWorker, parse_endpoint
+    from repro.fabric import FabricWorker, chaos_plan, parse_endpoint
 
     host, port = parse_endpoint(args.connect)
+    if args.chaos_seed is not None and args.chaos_profile is None:
+        raise ValueError("--chaos-seed needs --chaos-profile (the storm to seed)")
+    fault_plan = None
+    if args.chaos_profile is not None:
+        fault_plan = chaos_plan(
+            args.chaos_profile,
+            args.chaos_seed if args.chaos_seed is not None else 0,
+            worker_index=args.chaos_index,
+            fleet_size=args.chaos_fleet,
+        )
     worker = FabricWorker(
         host,
         port,
         worker_id=args.id,
         die_after=args.die_after,
+        fault_plan=fault_plan,
     )
     done = worker.run()
     text = f"{worker.worker_id}: {done} job(s) completed"
-    return text, {"worker": worker.worker_id, "jobs_done": done}
+    data = {
+        "worker": worker.worker_id,
+        "jobs_done": done,
+        "stats": dict(worker.stats),
+    }
+    return text, data
 
 
 def _cmd_serve(args):
@@ -680,6 +723,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="fabric: lease attempts per job before it is recorded as a "
         "worker failure (default 3)",
     )
+    p_sweep.add_argument(
+        "--chaos-profile",
+        choices=list(_CHAOS_PROFILES),
+        default=None,
+        metavar="PROFILE",
+        help="fabric: run the fleet under this named seeded fault storm "
+        f"({', '.join(_CHAOS_PROFILES)}); the merged result must still "
+        "match the serial path bitwise",
+    )
+    p_sweep.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fabric: chaos storm seed (default 0); the same seed "
+        "reproduces the same fault sequence and recovery counts",
+    )
 
     p_worker = sub.add_parser(
         "worker",
@@ -701,6 +761,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="fault injection: drop the connection when leasing job N+1",
+    )
+    p_worker.add_argument(
+        "--chaos-profile",
+        choices=list(_CHAOS_PROFILES),
+        default=None,
+        metavar="PROFILE",
+        help="run this worker's connection under a named seeded fault storm",
+    )
+    p_worker.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chaos storm seed (default 0)",
+    )
+    p_worker.add_argument(
+        "--chaos-index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="this worker's index in the chaos fleet plan (default 0)",
+    )
+    p_worker.add_argument(
+        "--chaos-fleet",
+        type=int,
+        default=1,
+        metavar="N",
+        help="chaos fleet size the plan is derived for (default 1)",
     )
 
     p_serve = sub.add_parser(

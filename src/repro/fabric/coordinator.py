@@ -24,7 +24,25 @@ Fault model:
   instead of restarting;
 * workers ship the dwell-curve entries they measured with each result;
   the coordinator merges them and forwards the fleet-wide cache with
-  every grant, so one worker's measurement is every worker's hit.
+  every grant, so one worker's measurement is every worker's hit;
+* every connection read carries a deadline (``read_deadline``,
+  default ``4 x lease_timeout``): a half-open worker surfaces as a
+  typed :class:`~repro.fabric.protocol.ChannelTimeout`, its
+  connection is dropped and its leases re-queued, and the handler
+  thread is reclaimed — it can never hang the coordinator;
+* a garbled line (:class:`~repro.fabric.protocol.ProtocolError`)
+  fails only the connection that sent it — counted in
+  ``config["fabric"]["protocol_errors"]``, leases re-queued, accept
+  loop untouched;
+* resuming from a torn JSONL (the artifact of a killed writer)
+  recovers the intact prefix and reports the torn row in
+  ``config["fabric"]["recovered_tail"]``.
+
+Every recovery is accounted: ``config["fabric"]`` carries the requeue
+ledger, protocol-error / read-timeout / duplicate counters, resume
+statistics and (when a chaos storm is active) the chaos seed and
+profile — so a sweep that survived a fault storm says exactly what it
+survived.
 """
 
 from __future__ import annotations
@@ -35,9 +53,10 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence, Union
 
-from repro.fabric.protocol import LineChannel, ProtocolError
+from repro.fabric.protocol import ChannelTimeout, LineChannel, ProtocolError
 from repro.fabric.store import ResultStore
 from repro.pipeline.cache import (
     DwellCurveCache,
@@ -85,6 +104,11 @@ class SweepCoordinator:
     lease_timeout:
         Seconds a leased job may go without a result or heartbeat
         before it is re-queued.
+    read_deadline:
+        Per-read timeout on worker connections (defaults to
+        ``4 x lease_timeout``).  A healthy worker leases or heartbeats
+        far more often; a connection silent past this is treated as
+        half-open, closed, and its leases re-queued.
     max_attempts:
         Lease attempts per job before it is recorded as a synthetic
         ``failed_stage="worker"`` row instead of re-queued.
@@ -110,6 +134,7 @@ class SweepCoordinator:
         host: str = "127.0.0.1",
         port: int = 0,
         lease_timeout: float = 30.0,
+        read_deadline: Optional[float] = None,
         max_attempts: int = 3,
         cache: Optional[DwellCurveCache] = None,
         jsonl_path: Optional[str] = None,
@@ -118,6 +143,8 @@ class SweepCoordinator:
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        if read_deadline is not None and read_deadline <= 0:
+            raise ValueError(f"read_deadline must be positive, got {read_deadline}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if isinstance(base, str):
@@ -138,6 +165,9 @@ class SweepCoordinator:
         self.host = host
         self.port = port
         self.lease_timeout = lease_timeout
+        self.read_deadline = (
+            read_deadline if read_deadline is not None else 4.0 * lease_timeout
+        )
         self.max_attempts = max_attempts
         self.cache = cache if cache is not None else GLOBAL_DWELL_CACHE
         self.keep_results = keep_results
@@ -146,6 +176,16 @@ class SweepCoordinator:
         self.duplicates_ignored = 0
         self.resumed = 0
         self.retried_worker_failures = 0
+        self.recovered_tail = 0
+        self.protocol_errors = 0
+        self.read_timeouts = 0
+        #: Chaos storm descriptor (seed/profile), attached by
+        #: :func:`run_fabric_sweep` when the fleet runs faulted —
+        #: surfaced in ``config["fabric"]["chaos"]``.
+        self.chaos_info: Optional[Dict[str, Any]] = None
+        #: Thread-mode worker recovery ledgers, aggregated by
+        #: :func:`run_fabric_sweep` after the fleet joins.
+        self.worker_stats: Optional[Dict[str, Dict[str, int]]] = None
         self._results: Dict[str, StudyResult] = {}
         self._pending: Deque[str] = deque()
         self._leases: Dict[str, _Lease] = {}
@@ -161,13 +201,21 @@ class SweepCoordinator:
 
         if resume_path is not None:
             try:
-                adopted, skipped = self.store.load_jsonl(
+                report = self.store.load_jsonl(
                     resume_path, wanted=self._jobs_by_address
                 )
             except FileNotFoundError:
-                adopted, skipped = 0, 0
-            self.resumed = adopted
-            self.retried_worker_failures = skipped
+                report = None
+            if report is not None:
+                self.resumed = report.adopted
+                self.retried_worker_failures = report.skipped
+                self.recovered_tail = report.recovered_tail
+                if report.recovered_tail and resume_path == jsonl_path:
+                    # heal the torn stub before appending, or the next
+                    # streamed row would fuse with it into one corrupt
+                    # line and poison the *next* resume
+                    raw = Path(resume_path).read_bytes()
+                    Path(resume_path).write_bytes(raw[: raw.rfind(b"\n") + 1])
             for address in list(self._jobs_by_address):
                 row = self.store.get(address)
                 if row is not None:
@@ -236,8 +284,20 @@ class SweepCoordinator:
         try:
             while True:
                 try:
-                    msg = channel.recv_msg()
-                except (ProtocolError, OSError):
+                    msg = channel.recv_msg(timeout=self.read_deadline)
+                except ChannelTimeout:
+                    # half-open or stalled peer: reclaim the handler
+                    # thread; any leases re-queue on release below
+                    with self._lock:
+                        self.read_timeouts += 1
+                    break
+                except ProtocolError:
+                    # a garbled line fails only this connection — the
+                    # accept loop and every other worker keep going
+                    with self._lock:
+                        self.protocol_errors += 1
+                    break
+                except OSError:
                     break
                 if msg is None:
                     break
@@ -437,13 +497,23 @@ class SweepCoordinator:
         config["fabric"] = {
             "workers": list(self._workers_seen),
             "lease_timeout": self.lease_timeout,
+            "read_deadline": self.read_deadline,
             "max_attempts": self.max_attempts,
             "requeues": list(self.requeues),
             "resumed": self.resumed,
             "retried_worker_failures": self.retried_worker_failures,
+            "recovered_tail": self.recovered_tail,
             "duplicates_ignored": self.duplicates_ignored,
+            "protocol_errors": self.protocol_errors,
+            "read_timeouts": self.read_timeouts,
             "cache_hits": self.resumed + self.store.hits,
         }
+        if self.chaos_info is not None:
+            config["fabric"]["chaos"] = dict(self.chaos_info)
+        if self.worker_stats is not None:
+            config["fabric"]["worker_stats"] = {
+                worker: dict(stats) for worker, stats in self.worker_stats.items()
+            }
         elapsed = self._elapsed if self._elapsed is not None else 0.0
         return merge_rows(
             self.base,
@@ -467,6 +537,7 @@ def run_fabric_sweep(
     host: str = "127.0.0.1",
     port: int = 0,
     lease_timeout: float = 30.0,
+    read_deadline: Optional[float] = None,
     max_attempts: int = 3,
     cache: Optional[DwellCurveCache] = None,
     jsonl_path: Optional[str] = None,
@@ -474,6 +545,10 @@ def run_fabric_sweep(
     keep_results: bool = False,
     worker_caches: Optional[Sequence[DwellCurveCache]] = None,
     timeout: Optional[float] = None,
+    chaos_seed: Optional[int] = None,
+    chaos_profile: Optional[str] = None,
+    fault_plans: Optional[Sequence[Any]] = None,
+    worker_recv_timeout: Optional[float] = 60.0,
 ) -> SweepResult:
     """Run one fixed sweep on a local fleet; the drop-in distributed
     twin of :func:`~repro.pipeline.sweep.run_sweep`.
@@ -488,12 +563,33 @@ def run_fabric_sweep(
     :class:`DwellCurveCache` — the default, and what the cache-sharing
     tests use to prove entries travel over the wire rather than through
     shared process memory.
+
+    Chaos: ``chaos_profile`` + ``chaos_seed`` run the whole fleet
+    under a named seeded fault storm
+    (:func:`~repro.fabric.resilience.chaos_plan` per worker), or pass
+    explicit per-worker ``fault_plans`` (thread mode).  The merged
+    result must *still* be bitwise identical to serial — faults only
+    exercise the recovery machinery, never the data — and the storm is
+    recorded in ``config["fabric"]["chaos"]``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if worker_mode not in ("thread", "process"):
         raise ValueError(f"worker_mode must be 'thread' or 'process', got {worker_mode!r}")
+    if chaos_seed is not None and chaos_profile is None:
+        raise ValueError("chaos_seed needs chaos_profile (the storm to seed)")
+    if fault_plans is not None and chaos_profile is not None:
+        raise ValueError("pass either fault_plans or chaos_profile, not both")
+    if fault_plans is not None and worker_mode != "thread":
+        raise ValueError("explicit fault_plans need worker_mode='thread'")
+    from repro.fabric.resilience import fleet_plans
     from repro.fabric.worker import FabricWorker, spawn_worker_process
+
+    if chaos_profile is not None:
+        chaos_seed = 0 if chaos_seed is None else chaos_seed
+        fault_plans = fleet_plans(
+            chaos_profile, chaos_seed, workers, lease_timeout=lease_timeout
+        )
 
     coordinator = SweepCoordinator(
         base,
@@ -503,14 +599,20 @@ def run_fabric_sweep(
         host=host,
         port=port,
         lease_timeout=lease_timeout,
+        read_deadline=read_deadline,
         max_attempts=max_attempts,
         cache=cache,
         jsonl_path=jsonl_path,
         resume_path=resume_path,
         keep_results=keep_results,
     )
+    if chaos_profile is not None:
+        coordinator.chaos_info = {"seed": chaos_seed, "profile": chaos_profile}
+    elif fault_plans is not None:
+        coordinator.chaos_info = {"seed": None, "profile": "custom"}
     coordinator.start()
     threads: List[threading.Thread] = []
+    fleet: List[Any] = []
     procs = []
     try:
         if not coordinator.finished:
@@ -526,7 +628,14 @@ def run_fabric_sweep(
                         coordinator.port,
                         worker_id=f"local-{i}",
                         cache=worker_cache,
+                        fault_plan=(
+                            fault_plans[i]
+                            if fault_plans is not None and i < len(fault_plans)
+                            else None
+                        ),
+                        recv_timeout=worker_recv_timeout,
                     )
+                    fleet.append(fw)
                     t = threading.Thread(
                         target=fw.run, name=f"fabric-{fw.worker_id}", daemon=True
                     )
@@ -535,7 +644,13 @@ def run_fabric_sweep(
             else:
                 procs = [
                     spawn_worker_process(
-                        coordinator.host, coordinator.port, worker_id=f"proc-{i}"
+                        coordinator.host,
+                        coordinator.port,
+                        worker_id=f"proc-{i}",
+                        chaos_seed=chaos_seed,
+                        chaos_profile=chaos_profile,
+                        chaos_index=i,
+                        chaos_fleet=workers,
                     )
                     for i in range(workers)
                 ]
@@ -547,6 +662,8 @@ def run_fabric_sweep(
         for p in procs:
             p.terminate()
             p.wait(timeout=10.0)
+    if fleet:
+        coordinator.worker_stats = {fw.worker_id: fw.stats for fw in fleet}
     return coordinator.result()
 
 

@@ -1,0 +1,562 @@
+"""Deterministic chaos layer and unified retry machinery for the fabric.
+
+The fabric's fault tolerance (leases, re-queueing, resume) is only
+trustworthy if it is *exercised* — this module makes the exercising
+reproducible, the same way a scenario seed makes a co-simulation
+reproducible:
+
+* :class:`FaultPlan` — a frozen description of one endpoint's fault
+  storm: per-direction drop / delay / duplicate / garble
+  probabilities, a crash-at-message-N hook, and a stall-for-S hook,
+  all driven by one ``numpy`` Generator seed.  The same plan produces
+  the same fault sequence every run.
+* :class:`FaultyChannel` — wraps any
+  :class:`~repro.fabric.protocol.LineChannel` and applies a plan to
+  the data-plane messages crossing it, so any coordinator / worker /
+  service pairing can run under a seeded storm without either side
+  knowing.
+* :class:`RetryPolicy` — exponential backoff with seeded,
+  deterministic jitter plus attempt and deadline caps; the one retry
+  implementation behind worker dial/reconnect, the lease-denied wait
+  loop, and :class:`~repro.fabric.service.ServiceClient` calls.
+* :func:`tear_jsonl_tail` — the torn-write injector: truncates a
+  sweep JSONL mid-final-line, the exact artifact a killed writer
+  leaves, for resume-path tests
+  (:meth:`~repro.fabric.store.ResultStore.load_jsonl` recovers it).
+* :data:`CHAOS_PROFILES` / :func:`chaos_plan` — named storm recipes
+  (``drop-delay``, ``dup-garble``, ``stall-crash``) behind the
+  ``--chaos-seed`` / ``--chaos-profile`` CLI flags.
+
+Determinism contract: a plan's fault decisions are indexed by each
+endpoint's *own* counter of eligible messages (send and receive
+streams draw from independent child generators), never by wall-clock
+time — so a single worker's fault sequence is a pure function of the
+seed, and fleet-level requeue/retry counts reproduce run over run.
+
+This module coordinates real machines, so (like the rest of
+``repro.fabric``) it is on the QA002 wall-clock allow-list: sleeps and
+monotonic deadlines are legitimate here; simulation kernels still may
+not touch the host clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.fabric.protocol import LineChannel, encode_msg
+
+
+class InjectedCrash(RuntimeError):
+    """A :class:`FaultPlan` ``crash_at_message`` hook fired.
+
+    The channel's socket is already closed when this propagates — the
+    process vanished mid-protocol as far as the peer can tell, which
+    is exactly what the lease/re-queue machinery must survive.
+    """
+
+
+class RetryExhausted(RuntimeError):
+    """A :meth:`RetryPolicy.call` ran out of attempts or deadline."""
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded deterministic jitter.
+
+    One policy object owns one jitter stream: given the same seed, the
+    sequence of computed delays is identical run over run, so retry
+    timing in chaos tests is as reproducible as the faults themselves.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts before :meth:`call` gives up (>= 1).
+    base_delay, factor, max_delay:
+        Attempt ``k`` backs off ``min(base_delay * factor**(k-1),
+        max_delay)`` seconds before jitter.
+    jitter:
+        Fractional spread: the raw delay is scaled by a seeded uniform
+        draw from ``[1, 1 + jitter]``.  Zero disables jitter (and
+        consumes no draws).
+    deadline:
+        Optional overall cap in seconds across all attempts of one
+        :meth:`call` (monotonic clock).
+    seed:
+        Jitter stream seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 5,
+        base_delay: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        deadline: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0 or jitter < 0:
+            raise ValueError("base_delay, max_delay and jitter must be >= 0")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.deadline = deadline
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._sleep: Callable[[float], None] = time.sleep
+
+    def delay_for(self, attempt: int, floor: float = 0.0) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (1-based).
+
+        ``floor`` is a server-supplied minimum (the coordinator's
+        ``retry_after`` hint): the exponential delay never undercuts
+        it, and jitter is applied on top so a fleet of denied workers
+        does not re-ask in lockstep.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        raw = max(raw, floor)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * float(self._rng.random())
+        return raw
+
+    def sleep(self, attempt: int, floor: float = 0.0) -> float:
+        """Sleep :meth:`delay_for` seconds; returns the delay used."""
+        delay = self.delay_for(attempt, floor=floor)
+        if delay > 0:
+            self._sleep(delay)
+        return delay
+
+    def call(self, fn: Callable[[], Any], *, retry_on: Tuple[type, ...] = (OSError,)) -> Any:
+        """Run ``fn`` under this policy; return its first success.
+
+        Retries on ``retry_on`` exceptions up to ``max_attempts``,
+        backing off between attempts; a configured ``deadline`` bounds
+        the whole call.  Exhaustion raises :class:`RetryExhausted`
+        chained from the last failure.
+        """
+        cutoff = None if self.deadline is None else time.monotonic() + self.deadline
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                if attempt >= self.max_attempts:
+                    break
+                delay = self.delay_for(attempt)
+                if cutoff is not None and time.monotonic() + delay > cutoff:
+                    break
+                self._sleep(delay)
+        raise RetryExhausted(
+            f"gave up after {self.max_attempts} attempt(s): {last!r}"
+        ) from last
+
+
+#: Message kinds the injector considers data-plane and thus faultable.
+#: Control traffic (hello/ok, lease, wait, heartbeat, shutdown) passes
+#: untouched so fault decisions stay a function of the seed, not of
+#: timing-dependent chatter like heartbeats and nap loops.
+DEFAULT_FAULT_TYPES: Tuple[str, ...] = ("job", "result")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One endpoint's seeded fault storm, as data.
+
+    Probabilities are per eligible message (see ``fault_types``); the
+    count-based hooks index the endpoint's own eligible-send counter,
+    1-based: ``crash_at_message=3`` kills the connection in place of
+    the third data-plane send.
+    """
+
+    seed: int = 0
+    #: Per-eligible-send probabilities.
+    drop_send: float = 0.0
+    delay_send: float = 0.0
+    duplicate_send: float = 0.0
+    garble_send: float = 0.0
+    #: Per-eligible-receive probabilities.
+    drop_recv: float = 0.0
+    delay_recv: float = 0.0
+    duplicate_recv: float = 0.0
+    #: Injected delays draw uniformly from ``(0, delay_max]`` seconds.
+    delay_max: float = 0.02
+    #: Abruptly close the socket in place of eligible send N (1-based).
+    crash_at_message: Optional[int] = None
+    #: Stall eligible send N for ``stall_for`` seconds while holding
+    #: the channel write path — heartbeats queue behind the stall, so
+    #: a lease really does go silent.
+    stall_at_message: Optional[int] = None
+    stall_for: float = 0.0
+    #: Read deadline a worker running under this plan should adopt
+    #: (dropped grants are only recoverable if reads time out).
+    recv_timeout: Optional[float] = None
+    #: Message kinds eligible for faults.
+    fault_types: Tuple[str, ...] = DEFAULT_FAULT_TYPES
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_send",
+            "delay_send",
+            "duplicate_send",
+            "garble_send",
+            "drop_recv",
+            "delay_recv",
+            "duplicate_recv",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.delay_max < 0 or self.stall_for < 0:
+            raise ValueError("delay_max and stall_for must be >= 0")
+        for name in ("crash_at_message", "stall_at_message"):
+            n = getattr(self, name)
+            if n is not None and n < 1:
+                raise ValueError(f"{name} is 1-based, got {n}")
+
+    @property
+    def quiet(self) -> bool:
+        """True when the plan injects nothing (a clean fleet member)."""
+        return (
+            not any(
+                (
+                    self.drop_send,
+                    self.delay_send,
+                    self.duplicate_send,
+                    self.garble_send,
+                    self.drop_recv,
+                    self.delay_recv,
+                    self.duplicate_recv,
+                )
+            )
+            and self.crash_at_message is None
+            and self.stall_at_message is None
+        )
+
+    def injector(self) -> "FaultInjector":
+        """A fresh stateful injector for this plan (one per endpoint;
+        carry it across reconnects so the fault stream stays one
+        deterministic sequence)."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """The stateful half of a :class:`FaultPlan`: counters and streams.
+
+    Send and receive decisions draw from independent child generators
+    of the plan seed, so receive-side faults do not shift send-side
+    decisions (and vice versa).  ``events`` tallies every injected
+    fault by kind — what chaos tests assert reproduces under one seed.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        send_seq, recv_seq = np.random.SeedSequence(plan.seed).spawn(2)
+        self._send_rng = np.random.default_rng(send_seq)
+        self._recv_rng = np.random.default_rng(recv_seq)
+        self.sends_seen = 0
+        self.recvs_seen = 0
+        self.events: Dict[str, int] = {
+            "drop_send": 0,
+            "delay_send": 0,
+            "duplicate_send": 0,
+            "garble_send": 0,
+            "drop_recv": 0,
+            "delay_recv": 0,
+            "duplicate_recv": 0,
+            "stall": 0,
+            "crash": 0,
+        }
+
+    def send_fate(self) -> Dict[str, Any]:
+        """Decide the fate of the next eligible send.
+
+        Always consumes the same number of draws per call (four
+        probabilities plus one delay magnitude), so the decision for
+        send *k* depends only on the seed and *k*.
+        """
+        plan = self.plan
+        self.sends_seen += 1
+        rng = self._send_rng
+        draws = rng.random(4)
+        magnitude = float(rng.random()) * plan.delay_max
+        fate = {
+            "stall": self.sends_seen == plan.stall_at_message,
+            "crash": self.sends_seen == plan.crash_at_message,
+            "drop": bool(draws[0] < plan.drop_send),
+            "garble": bool(draws[1] < plan.garble_send),
+            "duplicate": bool(draws[2] < plan.duplicate_send),
+            "delay": magnitude if draws[3] < plan.delay_send else 0.0,
+        }
+        for key in ("stall", "crash", "drop", "garble", "duplicate"):
+            if fate[key]:
+                self.events[_SEND_EVENT[key]] += 1
+        if fate["delay"]:
+            self.events["delay_send"] += 1
+        return fate
+
+    def recv_fate(self) -> Dict[str, Any]:
+        """Decide the fate of the next eligible receive (three
+        probability draws plus one delay magnitude per call)."""
+        plan = self.plan
+        self.recvs_seen += 1
+        rng = self._recv_rng
+        draws = rng.random(3)
+        magnitude = float(rng.random()) * plan.delay_max
+        fate = {
+            "drop": bool(draws[0] < plan.drop_recv),
+            "duplicate": bool(draws[1] < plan.duplicate_recv),
+            "delay": magnitude if draws[2] < plan.delay_recv else 0.0,
+        }
+        if fate["drop"]:
+            self.events["drop_recv"] += 1
+        if fate["duplicate"]:
+            self.events["duplicate_recv"] += 1
+        if fate["delay"]:
+            self.events["delay_recv"] += 1
+        return fate
+
+
+_SEND_EVENT = {
+    "stall": "stall",
+    "crash": "crash",
+    "drop": "drop_send",
+    "garble": "garble_send",
+    "duplicate": "duplicate_send",
+}
+
+
+def garble_line(data: bytes) -> bytes:
+    """Corrupt one wire line while keeping the one-line framing.
+
+    The result still ends in exactly one ``\\n`` but can never parse
+    as JSON, so the peer sees a :class:`ProtocolError`, not a silently
+    wrong message.
+    """
+    body = data.rstrip(b"\n")
+    return b"!garbled!" + body[: len(body) // 2] + b"\n"
+
+
+class FaultyChannel:
+    """A :class:`LineChannel` running under a :class:`FaultPlan`.
+
+    Drop-in for the wrapped channel: same ``send_msg`` /
+    ``recv_msg(timeout=...)`` / ``close`` surface, so workers,
+    coordinators and service clients take it without changes.  Control
+    messages (anything outside ``plan.fault_types``) pass through
+    untouched; eligible messages are dropped, delayed, duplicated or
+    garbled per the injector's deterministic streams.
+
+    All sends — control ones included — serialise on one lock, which
+    is what makes the stall hook honest: while a data send stalls, the
+    heartbeat thread's sends queue behind it and the lease genuinely
+    goes silent.
+    """
+
+    def __init__(self, inner: LineChannel, injector: FaultInjector):
+        self._inner = inner
+        self._fault = injector
+        self._lock = threading.Lock()
+        self._replay: deque = deque()
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._fault
+
+    def send_msg(self, kind: str, **fields: Any) -> None:
+        plan = self._fault.plan
+        with self._lock:
+            if kind not in plan.fault_types:
+                self._inner.send_msg(kind, **fields)
+                return
+            fate = self._fault.send_fate()
+            if fate["stall"]:
+                time.sleep(plan.stall_for)
+            if fate["crash"]:
+                self._inner.close()
+                raise InjectedCrash(
+                    f"fault plan crashed the channel at eligible send "
+                    f"#{self._fault.sends_seen}"
+                )
+            if fate["drop"]:
+                return
+            data = encode_msg(kind, **fields)
+            if fate["garble"]:
+                data = garble_line(data)
+            if fate["delay"]:
+                time.sleep(fate["delay"])
+            self._inner.send_raw(data)
+            if fate["duplicate"]:
+                self._inner.send_raw(data)
+
+    def recv_msg(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        if self._replay:
+            return self._replay.popleft()
+        plan = self._fault.plan
+        while True:
+            msg = self._inner.recv_msg(timeout=timeout)
+            if msg is None or msg.get("type") not in plan.fault_types:
+                return msg
+            fate = self._fault.recv_fate()
+            if fate["drop"]:
+                continue
+            if fate["delay"]:
+                time.sleep(fate["delay"])
+            if fate["duplicate"]:
+                self._replay.append(dict(msg))
+            return msg
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def tear_jsonl_tail(path: str, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` mid-final-line — the torn-write injector.
+
+    Simulates the artifact a killed writer actually leaves: the last
+    JSONL row cut partway through with no trailing newline.  Returns
+    the number of bytes removed (0 when the file is empty).
+    :meth:`~repro.fabric.store.ResultStore.load_jsonl` recovers the
+    intact prefix and reports the torn row.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    target = Path(path)
+    data = target.read_bytes()
+    stripped = data.rstrip(b"\n")
+    if not stripped:
+        return 0
+    line_start = stripped.rfind(b"\n") + 1
+    line = stripped[line_start:]
+    keep = max(1, int(len(line) * keep_fraction)) if len(line) > 1 else 0
+    torn = data[: line_start + keep]
+    target.write_bytes(torn)
+    return len(data) - len(torn)
+
+
+#: Named storm recipes for ``--chaos-profile``.  Probabilities are per
+#: data-plane message; each profile also carries the read deadline a
+#: worker should run under so injected losses are recoverable.
+CHAOS_PROFILES: Tuple[str, ...] = ("drop-delay", "dup-garble", "stall-crash")
+
+
+def chaos_plan(
+    profile: str,
+    seed: int,
+    worker_index: int = 0,
+    fleet_size: int = 1,
+    lease_timeout: Optional[float] = None,
+) -> FaultPlan:
+    """The :class:`FaultPlan` for one fleet member under a named storm.
+
+    Per-worker plan seeds derive from ``(seed, worker_index)`` through
+    a :class:`numpy.random.SeedSequence`, so every fleet member rides
+    its own deterministic stream and the whole storm is reproducible
+    from one ``--chaos-seed``.
+
+    Profiles:
+
+    * ``drop-delay`` — message loss plus latency on both directions;
+      exercises read deadlines, lease expiry and re-queueing.
+    * ``dup-garble`` — duplicated and corrupted lines; exercises
+      content-address dedup and per-connection ProtocolError isolation.
+    * ``stall-crash`` — worker 0 stalls past the lease deadline
+      (heartbeats blocked), the last worker crashes mid-protocol;
+      needs a fleet of at least two so someone survives to finish.
+    """
+    if profile not in CHAOS_PROFILES:
+        raise ValueError(
+            f"unknown chaos profile {profile!r}; expected one of {list(CHAOS_PROFILES)}"
+        )
+    if not 0 <= worker_index < fleet_size:
+        raise ValueError(
+            f"worker_index {worker_index} outside fleet of {fleet_size}"
+        )
+    derived = int(
+        np.random.SeedSequence([int(seed), int(worker_index)]).generate_state(1)[0]
+    )
+    if profile == "drop-delay":
+        return FaultPlan(
+            seed=derived,
+            drop_send=0.15,
+            drop_recv=0.15,
+            delay_send=0.25,
+            delay_recv=0.25,
+            delay_max=0.02,
+            recv_timeout=0.75,
+        )
+    if profile == "dup-garble":
+        return FaultPlan(
+            seed=derived,
+            duplicate_send=0.25,
+            duplicate_recv=0.2,
+            garble_send=0.15,
+            recv_timeout=1.0,
+        )
+    # stall-crash
+    if fleet_size < 2:
+        raise ValueError(
+            "stall-crash chaos needs a fleet of at least 2 workers "
+            "(one stalls, one crashes, somebody must survive)"
+        )
+    stall_for = 2.5 if lease_timeout is None else max(2.5, 1.6 * lease_timeout)
+    if worker_index == 0:
+        return FaultPlan(
+            seed=derived,
+            stall_at_message=2,
+            stall_for=stall_for,
+            recv_timeout=1.0,
+        )
+    if worker_index == fleet_size - 1:
+        return FaultPlan(seed=derived, crash_at_message=2, recv_timeout=1.0)
+    return FaultPlan(seed=derived, recv_timeout=1.0)
+
+
+def fleet_plans(
+    profile: str,
+    seed: int,
+    fleet_size: int,
+    lease_timeout: Optional[float] = None,
+) -> Tuple[FaultPlan, ...]:
+    """Plans for a whole fleet under one storm (index-aligned)."""
+    return tuple(
+        chaos_plan(
+            profile,
+            seed,
+            worker_index=index,
+            fleet_size=fleet_size,
+            lease_timeout=lease_timeout,
+        )
+        for index in range(fleet_size)
+    )
+
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "DEFAULT_FAULT_TYPES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyChannel",
+    "InjectedCrash",
+    "RetryExhausted",
+    "RetryPolicy",
+    "chaos_plan",
+    "fleet_plans",
+    "garble_line",
+    "tear_jsonl_tail",
+]

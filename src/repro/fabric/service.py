@@ -14,6 +14,15 @@ Results are cached by **content address** — the same
 resubmitting an identical study (whatever its name) returns the
 already-computed artifact immediately, with ``cache_hit`` marked in
 both the job record and the result provenance.
+
+Resilience (PR 10): the request handler reads under a deadline
+(``read_deadline``) so an idle half-open client releases its handler
+thread instead of pinning it forever, and a garbled request fails only
+that connection.  :class:`ServiceClient` retries each call (dial +
+round-trip) under a seeded
+:class:`~repro.fabric.resilience.RetryPolicy`, and ``wait_for`` polls
+with the same jittered backoff instead of a fixed nap — a briefly
+unreachable service looks slow, not broken.
 """
 
 from __future__ import annotations
@@ -27,7 +36,8 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Tuple
 
-from repro.fabric.protocol import LineChannel, connect
+from repro.fabric.protocol import ChannelTimeout, LineChannel, connect
+from repro.fabric.resilience import RetryPolicy
 from repro.pipeline.cache import DwellCurveCache, GLOBAL_DWELL_CACHE
 from repro.pipeline.runner import DesignStudy
 from repro.pipeline.scenario import Scenario
@@ -106,9 +116,13 @@ class StudyService:
         *,
         pool_size: int = 2,
         cache: Optional[DwellCurveCache] = None,
+        read_deadline: Optional[float] = 120.0,
     ):
+        if read_deadline is not None and read_deadline <= 0:
+            raise ValueError(f"read_deadline must be positive, got {read_deadline}")
         self.host = host
         self.port = port
+        self.read_deadline = read_deadline
         self.cache = cache if cache is not None else GLOBAL_DWELL_CACHE
         self.jobs: Dict[str, JobRecord] = {}
         self._by_address: Dict[str, str] = {}
@@ -160,7 +174,10 @@ class StudyService:
         try:
             while True:
                 try:
-                    msg = channel.recv_msg()
+                    msg = channel.recv_msg(timeout=self.read_deadline)
+                except ChannelTimeout:
+                    # idle half-open client: reclaim the handler thread
+                    break
                 except Exception as exc:
                     try:
                         channel.send_msg("error", detail=str(exc))
@@ -295,22 +312,46 @@ class StudyService:
 
 
 class ServiceClient:
-    """Tiny blocking client for the study service (one dial per call)."""
+    """Tiny blocking client for the study service (one dial per call).
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    Every call retries the whole dial-and-round-trip under ``retry``
+    (refused dials, EOF, reply deadline) — safe because the service is
+    content-addressed, so a replayed ``submit`` dedups to the same job.
+    ``timeout`` bounds both the dial and the wait for the reply line.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(max_attempts=4, base_delay=0.05, seed=0)
+        )
 
     def _call(self, kind: str, **fields: Any) -> Dict[str, Any]:
-        channel = connect(self.host, self.port, timeout=self.timeout)
-        try:
-            channel.send_msg(kind, **fields)
-            reply = channel.recv_msg()
-        finally:
-            channel.close()
-        if reply is None:
-            raise ConnectionError("service hung up without replying")
+        def round_trip() -> Dict[str, Any]:
+            channel = connect(self.host, self.port, timeout=self.timeout)
+            try:
+                channel.send_msg(kind, **fields)
+                reply = channel.recv_msg(timeout=self.timeout)
+            finally:
+                channel.close()
+            if reply is None:
+                raise ConnectionError("service hung up without replying")
+            return reply
+
+        # ChannelTimeout is a TimeoutError, itself an OSError: one
+        # retry_on class covers refused dials, EOF and reply deadlines
+        reply = self.retry.call(round_trip, retry_on=(OSError,))
         if reply["type"] == "error":
             raise RuntimeError(f"service error: {reply.get('detail')}")
         return reply
@@ -333,8 +374,13 @@ class ServiceClient:
     def wait_for(
         self, job_id: str, timeout: float = 60.0, poll: float = 0.1
     ) -> Dict[str, Any]:
-        """Poll ``status`` until the job finishes, then ``fetch`` it."""
+        """Poll ``status`` until the job finishes, then ``fetch`` it.
+
+        Polls back off under :attr:`retry`'s jittered schedule with
+        ``poll`` as the floor, so a fleet of waiting clients spreads
+        its polls instead of hammering in lockstep."""
         deadline = time.monotonic() + timeout
+        attempt = 0
         while True:
             snap = self.status(job_id)
             if snap["state"] in ("done", "failed"):
@@ -343,7 +389,8 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} still {snap['state']!r} after {timeout:g}s"
                 )
-            time.sleep(poll)
+            attempt += 1
+            self.retry.sleep(attempt, floor=poll)
 
 
 __all__ = [

@@ -15,9 +15,22 @@ Per job the worker:
    dwell entries it newly measured (``export_entries`` minus what it
    already knows the coordinator has).
 
-``die_after=N`` makes the worker abruptly drop its connection when it
-leases its ``N+1``-th job — the fault-injection hook the kill/resume
-tests and the CI smoke job use to exercise re-queueing.
+Resilience (PR 10): every improvised wait became
+:class:`~repro.fabric.resilience.RetryPolicy` — dialing a coordinator
+that is not up yet backs off instead of failing instantly, the
+lease-denied nap honours the coordinator's ``retry_after`` with seeded
+jitter, and a broken session (EOF, garbled line, read deadline hit)
+reconnects with backoff instead of killing the worker.  Every read
+carries a deadline (``recv_timeout``) so a half-open coordinator can
+never hang the process; :attr:`FabricWorker.stats` tallies the
+recoveries.
+
+Fault injection: ``die_after=N`` abruptly drops the connection when
+leasing job ``N+1`` (the PR 7 hook), and ``fault_plan`` runs the whole
+connection under a seeded
+:class:`~repro.fabric.resilience.FaultyChannel` storm — drop / delay /
+duplicate / garble / stall / crash — for the chaos matrix and the CI
+``chaos-smoke`` job.
 """
 
 from __future__ import annotations
@@ -26,10 +39,22 @@ import os
 import subprocess
 import sys
 import threading
+import zlib
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Union
 
-from repro.fabric.protocol import LineChannel, connect
+from repro.fabric.protocol import (
+    ChannelTimeout,
+    LineChannel,
+    ProtocolError,
+    connect,
+)
+from repro.fabric.resilience import (
+    FaultPlan,
+    FaultyChannel,
+    InjectedCrash,
+    RetryPolicy,
+)
 from repro.pipeline.cache import (
     DwellCurveCache,
     GLOBAL_DWELL_CACHE,
@@ -45,7 +70,16 @@ class WorkerDied(RuntimeError):
 
 
 class FabricWorker:
-    """One worker process/thread's connection to a sweep coordinator."""
+    """One worker process/thread's connection to a sweep coordinator.
+
+    ``retry`` governs every backoff the worker performs (dial,
+    reconnect, lease-denied wait); its jitter stream is seeded from the
+    worker id by default so fleet members never nap in lockstep.
+    ``recv_timeout`` is the per-read deadline: a coordinator that goes
+    half-open mid-conversation surfaces as a typed
+    :class:`~repro.fabric.protocol.ChannelTimeout` and a reconnect, not
+    a hung process.
+    """
 
     def __init__(
         self,
@@ -55,52 +89,133 @@ class FabricWorker:
         worker_id: Optional[str] = None,
         cache: Optional[DwellCurveCache] = None,
         die_after: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        recv_timeout: Optional[float] = 60.0,
     ):
         self.host = host
         self.port = port
         self.worker_id = worker_id or f"worker-{os.getpid()}-{id(self) & 0xFFFF:04x}"
         self.cache = cache if cache is not None else GLOBAL_DWELL_CACHE
         self.die_after = die_after
+        self.fault_plan = fault_plan
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(seed=zlib.crc32(self.worker_id.encode("utf-8")))
+        )
+        if fault_plan is not None and fault_plan.recv_timeout is not None:
+            recv_timeout = fault_plan.recv_timeout
+        self.recv_timeout = recv_timeout
         self.jobs_done = 0
+        #: Recovery ledger: dial retries, session reconnects, read
+        #: deadlines hit, lease-denied waits — the retry machinery's
+        #: own accounting, assertable in chaos tests.
+        self.stats = {
+            "connect_retries": 0,
+            "reconnects": 0,
+            "read_timeouts": 0,
+            "wait_naps": 0,
+        }
+        self._injector = fault_plan.injector() if fault_plan is not None else None
         self._shipped: set = set()
-        self._channel: Optional[LineChannel] = None
+        self._channel: Optional[Union[LineChannel, FaultyChannel]] = None
 
     def run(self) -> int:
         """Lease-and-run until the coordinator says ``shutdown``.
 
-        Returns the number of jobs completed.  ``die_after`` exits by
-        dropping the socket mid-lease (simulated crash), leaving the
-        leased job for the coordinator to re-queue.
+        Returns the number of jobs completed.  Transport failures —
+        refused dials, EOF mid-session, garbled replies, read
+        deadlines — retry under :attr:`retry`; ``die_after`` and an
+        injected crash exit by dropping the socket mid-lease
+        (simulated crash), leaving any leased job for the coordinator
+        to re-queue.
         """
-        self._channel = connect(self.host, self.port)
+        failures = 0
         try:
-            self._channel.send_msg("hello", worker=self.worker_id)
-            hello_ack = self._channel.recv_msg()
-            if hello_ack is None:
-                return self.jobs_done
             while True:
-                self._channel.send_msg("lease", worker=self.worker_id)
-                msg = self._channel.recv_msg()
-                if msg is None or msg["type"] == "shutdown":
+                try:
+                    channel = self._dial()
+                except OSError:
+                    failures += 1
+                    self.stats["connect_retries"] += 1
+                    if failures >= self.retry.max_attempts:
+                        break
+                    self.retry.sleep(failures)
+                    continue
+                jobs_before = self.jobs_done
+                try:
+                    finished = self._session(channel)
+                except (ChannelTimeout, ProtocolError, OSError):
+                    finished = False
+                finally:
+                    channel.close()
+                    self._channel = None
+                if finished:
                     break
-                if msg["type"] == "wait":
-                    threading.Event().wait(float(msg.get("retry_after", 0.05)))
-                    continue
-                if msg["type"] != "job":
-                    continue
-                if self.die_after is not None and self.jobs_done >= self.die_after:
-                    # simulated crash: vanish without releasing the lease
-                    raise WorkerDied(
-                        f"{self.worker_id} died after {self.jobs_done} job(s)"
-                    )
-                self._run_job(msg)
-                self.jobs_done += 1
-        except WorkerDied:
+                if self.jobs_done > jobs_before:
+                    # the session made progress before breaking: a live
+                    # but lossy fleet, not a dead coordinator — keep the
+                    # full retry budget for the next reconnect
+                    failures = 0
+                # the session ended without a shutdown: the connection
+                # broke (or went silent past its read deadline) — back
+                # off and reconnect, resuming the same fault stream
+                failures += 1
+                self.stats["reconnects"] += 1
+                if failures >= self.retry.max_attempts:
+                    break
+                self.retry.sleep(failures)
+        except (WorkerDied, InjectedCrash):
             pass
-        finally:
-            self._channel.close()
-            self._channel = None
         return self.jobs_done
+
+    def _dial(self) -> Union[LineChannel, FaultyChannel]:
+        channel: Union[LineChannel, FaultyChannel] = connect(self.host, self.port)
+        if self._injector is not None:
+            channel = FaultyChannel(channel, self._injector)
+        return channel
+
+    def _session(self, channel: Union[LineChannel, FaultyChannel]) -> bool:
+        """One connection's lease loop; True when shut down cleanly."""
+        self._channel = channel
+        channel.send_msg("hello", worker=self.worker_id)
+        if channel.recv_msg(timeout=self.recv_timeout) is None:
+            return False
+        wait_attempt = 0
+        timeout_strikes = 0
+        while True:
+            channel.send_msg("lease", worker=self.worker_id)
+            try:
+                msg = channel.recv_msg(timeout=self.recv_timeout)
+            except ChannelTimeout:
+                # a dropped grant (or a stalled coordinator): re-ask;
+                # the undelivered job's lease expires and re-queues
+                self.stats["read_timeouts"] += 1
+                timeout_strikes += 1
+                if timeout_strikes >= self.retry.max_attempts:
+                    raise
+                continue
+            timeout_strikes = 0
+            if msg is None or msg["type"] == "shutdown":
+                return msg is not None
+            if msg["type"] == "wait":
+                wait_attempt += 1
+                self.stats["wait_naps"] += 1
+                self.retry.sleep(
+                    wait_attempt, floor=float(msg.get("retry_after", 0.05))
+                )
+                continue
+            if msg["type"] != "job":
+                continue
+            if self.die_after is not None and self.jobs_done >= self.die_after:
+                # simulated crash: vanish mid-lease without releasing it
+                raise WorkerDied(
+                    f"{self.worker_id} died after {self.jobs_done} job(s)"
+                )
+            wait_attempt = 0
+            self._run_job(msg)
+            self.jobs_done += 1
 
     def _run_job(self, msg: dict) -> None:
         channel = self._channel
@@ -166,11 +281,18 @@ def spawn_worker_process(
     *,
     worker_id: Optional[str] = None,
     die_after: Optional[int] = None,
+    chaos_seed: Optional[int] = None,
+    chaos_profile: Optional[str] = None,
+    chaos_index: int = 0,
+    chaos_fleet: int = 1,
 ) -> subprocess.Popen:
     """Launch ``python -m repro worker --connect host:port`` as a child.
 
     The child gets ``PYTHONPATH`` pointing at this package's ``src``
-    tree so the CLI resolves regardless of the caller's cwd.
+    tree so the CLI resolves regardless of the caller's cwd.  Chaos
+    flags put the child's connection under the named seeded fault
+    storm (``chaos_index`` / ``chaos_fleet`` pin its role in the
+    fleet's plan).
     """
     import repro
 
@@ -184,6 +306,17 @@ def spawn_worker_process(
         cmd += ["--id", worker_id]
     if die_after is not None:
         cmd += ["--die-after", str(die_after)]
+    if chaos_profile is not None:
+        cmd += [
+            "--chaos-profile",
+            chaos_profile,
+            "--chaos-seed",
+            str(chaos_seed if chaos_seed is not None else 0),
+            "--chaos-index",
+            str(chaos_index),
+            "--chaos-fleet",
+            str(chaos_fleet),
+        ]
     return subprocess.Popen(
         cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
     )

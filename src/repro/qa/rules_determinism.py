@@ -132,8 +132,9 @@ class WallClockRule(Rule):
         "inside repro.sim / repro.flexray / repro.solvers couples results "
         "to the machine and to NTP steps.  Duration timing belongs in the "
         "pipeline/benchmark layer and uses time.perf_counter().  The "
-        "fabric layer is exempt: leases, heartbeats and job timestamps "
-        "are about real machines, not simulated ones."
+        "fabric layer is exempt: leases, heartbeats, retry backoff "
+        "sleeps (repro.fabric.resilience) and job timestamps are about "
+        "real machines, not simulated ones."
     )
     scope = (
         "repro.sim",

@@ -129,8 +129,8 @@ class TestResultStore:
         ]
         path.write_text("".join(json.dumps(r) + "\n" for r in rows))
         store = ResultStore()
-        adopted, skipped = store.load_jsonl(str(path), wanted={"a+0", "a+1"})
-        assert (adopted, skipped) == (1, 1)
+        report = store.load_jsonl(str(path), wanted={"a+0", "a+1"})
+        assert (report.adopted, report.skipped, report.recovered_tail) == (1, 1, 0)
         assert "a+0" in store and "a+1" not in store and "foreign+9" not in store
 
     def test_load_jsonl_corrupt_line_raises(self, tmp_path):

@@ -51,6 +51,9 @@ class TestModuleScoping:
         source = "import time\nt0 = time.time()\n"
         assert findings_for(source, path=ANY_PATH) == []
         assert findings_for(source, path="src/repro/fabric/snippet.py") == []
+        # the chaos layer's backoff sleeps and deadlines ride the same
+        # allowance: it coordinates real machines, not simulated ones
+        assert findings_for(source, path="src/repro/fabric/resilience.py") == []
         # the pipeline layer is in scope since the fabric PR: duration
         # timing there must use time.perf_counter()
         assert ids(findings_for(source, path=PIPELINE_PATH)) == ["QA002"]
